@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 4: the EP degree each cluster can reach and the corresponding
+ * per-device MoE performance, split into computation and memory-access
+ * time. Each device serves its own decode batch (per-device routed
+ * tokens constant), so growing EP shrinks only the weight-streaming
+ * term — the E/D effect.
+ *
+ * Expected shape: the memory-access share falls monotonically with EP;
+ * per-device performance improves from DGX (EP 8-32) through NVL72
+ * (EP 72) to the WSC (EP 256).
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+void
+sweep(const MoEModelConfig &model)
+{
+    std::printf("-- %s --\n", model.name.c_str());
+    const CostModel cost;
+    const double tokensPerDevice = 256.0 * model.expertsActivated;
+    const int eps[] = {8, 16, 32, 72, 256};
+
+    double baseline = 0.0;
+    Table t({"EP", "platform", "compute (us)", "memory (us)",
+             "memory share", "perf vs EP=8"});
+    for (const int ep : eps) {
+        const double expertsPerDevice =
+            static_cast<double>(model.expertsTotal) / ep;
+        const auto c =
+            cost.moeDevice(model, tokensPerDevice, expertsPerDevice);
+        if (baseline == 0.0)
+            baseline = c.total();
+        const char *platform = ep <= 32 ? "DGX"
+            : ep <= 72                  ? "NVL72"
+                                        : "WSC";
+        t.addRow({std::to_string(ep), platform,
+                  Table::num(c.computeTime * 1e6, 1),
+                  Table::num(c.memoryTime * 1e6, 1),
+                  Table::num(c.memoryTime / c.total() * 100.0, 1) + "%",
+                  Table::pct(baseline / c.total() - 1.0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 4: EP scaling and per-device MoE "
+                "performance ==\n\n");
+    sweep(deepseekV3());
+    sweep(qwen3());
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Fig. 6: all-to-all vs all-reduce latency as the WSC scales from one
+ * 4×4 wafer to 4×(8×8) multi-wafer systems, for prefill and decode
+ * token counts, under the baseline mapping.
+ *
+ * Expected shape: all-reduce stays nearly flat while all-to-all surges
+ * with scale; the link-latency portion only matters for small decode
+ * batches.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+void
+sweep(const char *stage, int tokensPerGroup)
+{
+    std::printf("-- %s (tokens/group = %d) --\n", stage,
+                tokensPerGroup);
+    const MoEModelConfig model = deepseekV3();
+    struct Cfg
+    {
+        int meshN;
+        int wafers;
+    };
+    const Cfg cfgs[] = {{4, 1}, {6, 1}, {8, 1}, {6, 4}, {8, 4}};
+
+    Table t({"scale", "all-reduce (us)", "all-to-all (us)",
+             "A2A/AR ratio", "link-latency part (us)"});
+    for (const auto &cfg : cfgs) {
+        SystemConfig sc;
+        sc.platform = PlatformKind::WscBaseline;
+        sc.meshN = cfg.meshN;
+        sc.wafers = cfg.wafers;
+        sc.tp = 4;
+        const System sys = System::make(sc);
+        const auto r = evaluateCommunication(sys.mapping(), model,
+                                             tokensPerGroup, true);
+        t.addRow({sys.topology().name(),
+                  Table::num(r.allReduce * 1e6, 1),
+                  Table::num(r.allToAll() * 1e6, 1),
+                  Table::num(r.allToAll() / r.allReduce, 2),
+                  Table::num(r.a2aTraffic.maxPathLatency() * 1e6, 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 6: all-to-all vs all-reduce across WSC "
+                "scales ==\n\n");
+    sweep("Prefill", 2048);
+    sweep("Decode", 64);
+    return 0;
+}

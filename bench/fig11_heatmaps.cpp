@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fig. 11: traffic heatmaps of the attention all-reduce and the MoE
+ * all-to-all under ER-Mapping, demonstrating the complementary
+ * distribution of hot and cold links that NI-Balancer schedules hidden
+ * migrations into:
+ *   - during all-reduce, intra-FTD links are cold (hot links confined
+ *     to ring-intersection / FTD-connection areas);
+ *   - during all-to-all, traffic is confined within FTDs and every
+ *     inter-FTD link is cold.
+ *
+ * Cases match Fig. 11(c): a 4×4 wafer with DP=8/TP=2 and a 6×6 wafer
+ * with DP=9/TP=4, plus the canonical 4×4 DP=4/TP=4.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+void
+heatmaps(int meshN, int tp)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(meshN);
+    const auto par = decomposeTp(tp, meshN, meshN);
+    const ErMapping er(mesh, par);
+    std::printf("-- %dx%d WSC, %s (DP=%d) --\n", meshN, meshN,
+                par.label().c_str(), er.dp());
+
+    const auto comm = evaluateCommunication(er, deepseekV3(), 256, true);
+
+    std::printf("all-reduce traffic (hot = FTD connections):\n%s\n",
+                comm.arTraffic.heatmapAscii(mesh).c_str());
+    std::printf("all-to-all traffic (confined within FTDs):\n%s\n",
+                comm.a2aTraffic.heatmapAscii(mesh).c_str());
+
+    // Quantify complementarity: volume share of inter-FTD links in
+    // each phase.
+    double arIntra = 0.0;
+    double arInter = 0.0;
+    double a2aIntra = 0.0;
+    double a2aInter = 0.0;
+    for (std::size_t l = 0; l < mesh.links().size(); ++l) {
+        const Link &link = mesh.links()[l];
+        const bool inter = er.ftdOf(link.src) != er.ftdOf(link.dst);
+        const auto id = static_cast<LinkId>(l);
+        (inter ? arInter : arIntra) += comm.arTraffic.linkVolume(id);
+        (inter ? a2aInter : a2aIntra) += comm.a2aTraffic.linkVolume(id);
+    }
+    std::printf("all-reduce volume:  %5.1f%% on inter-FTD links\n",
+                100.0 * arInter / (arInter + arIntra));
+    std::printf("all-to-all volume:  %5.1f%% on inter-FTD links "
+                "(complementary)\n\n",
+                100.0 * a2aInter / (a2aInter + a2aIntra + 1e-30));
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 11: complementary hot/cold link distribution "
+                "under ER-Mapping ==\n\n");
+    heatmaps(4, 4); // canonical Fig. 11(a)/(b) case
+    heatmaps(4, 2); // Fig. 11(c), 4x4 DP=8 TP=2
+    heatmaps(6, 4); // Fig. 11(c), 6x6 DP=9 TP=4
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 13(a): communication improvement of the WSC (with and without
+ * ER-Mapping) over DGX clusters as the per-group token count grows
+ * from 16 to 32k.
+ *
+ * Expected shape: the advantage rises with token count and saturates
+ * beyond ~256 tokens per group, with ER-Mapping extending it further.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+double
+commTotal(PlatformKind platform, int meshN, int dgxNodes, int tokens)
+{
+    SystemConfig sc;
+    sc.platform = platform;
+    sc.meshN = meshN;
+    sc.dgxNodes = dgxNodes;
+    sc.tp = 4;
+    const System sys = System::make(sc);
+    return evaluateCommunication(sys.mapping(), qwen3(), tokens, true)
+        .total();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 13(a): impact of token count (Qwen3) ==\n\n");
+    Table t({"tokens/group", "6x6 vs 32 GPUs", "6x6+ER vs 32 GPUs",
+             "8x8 vs 64 GPUs", "8x8+ER vs 64 GPUs"});
+    for (const int tokens : {16, 32, 64, 128, 256, 512, 1024, 2048,
+                             4096, 8192, 16384, 32768}) {
+        const double dgx4 =
+            commTotal(PlatformKind::DgxCluster, 0, 4, tokens);
+        const double dgx8 =
+            commTotal(PlatformKind::DgxCluster, 0, 8, tokens);
+        const double wsc6 =
+            commTotal(PlatformKind::WscBaseline, 6, 0, tokens);
+        const double er6 = commTotal(PlatformKind::WscEr, 6, 0, tokens);
+        const double wsc8 =
+            commTotal(PlatformKind::WscBaseline, 8, 0, tokens);
+        const double er8 = commTotal(PlatformKind::WscEr, 8, 0, tokens);
+        t.addRow({std::to_string(tokens),
+                  Table::pct(1.0 - wsc6 / dgx4),
+                  Table::pct(1.0 - er6 / dgx4),
+                  Table::pct(1.0 - wsc8 / dgx8),
+                  Table::pct(1.0 - er8 / dgx8)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

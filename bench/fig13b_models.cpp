@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Fig. 13(b): per-model communication latency of a 4-node DGX, a 6×6
+ * WSC under the baseline mapping, and the same wafer under ER-Mapping
+ * (256 tokens per group, balanced gating).
+ *
+ * Expected shape: WSC beats DGX on every model (~50%+); ER-Mapping
+ * adds a further win that grows with the number of activated experts,
+ * and may lose on Mixtral (2 activated experts, all-reduce-heavy).
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+int
+main()
+{
+    std::printf("== Fig. 13(b): communication latency across models "
+                "==\n\n");
+    const int tokens = 256;
+
+    SystemConfig dgxCfg;
+    dgxCfg.platform = PlatformKind::DgxCluster;
+    dgxCfg.dgxNodes = 4;
+    dgxCfg.tp = 4;
+    const System dgx = System::make(dgxCfg);
+
+    SystemConfig wscCfg;
+    wscCfg.platform = PlatformKind::WscBaseline;
+    wscCfg.meshN = 6;
+    wscCfg.tp = 4;
+    const System wsc = System::make(wscCfg);
+
+    SystemConfig erCfg = wscCfg;
+    erCfg.platform = PlatformKind::WscEr;
+    const System er = System::make(erCfg);
+
+    Table t({"model", "GPU AR", "GPU A2A", "WSC AR", "WSC A2A",
+             "ER AR", "ER A2A", "WSC vs GPU", "ER vs WSC"});
+    for (const auto &model : allModels()) {
+        const auto g =
+            evaluateCommunication(dgx.mapping(), model, tokens, true);
+        const auto w =
+            evaluateCommunication(wsc.mapping(), model, tokens, true);
+        const auto e =
+            evaluateCommunication(er.mapping(), model, tokens, true);
+        t.addRow({model.name, Table::num(g.allReduce * 1e6, 1),
+                  Table::num(g.allToAll() * 1e6, 1),
+                  Table::num(w.allReduce * 1e6, 1),
+                  Table::num(w.allToAll() * 1e6, 1),
+                  Table::num(e.allReduce * 1e6, 1),
+                  Table::num(e.allToAll() * 1e6, 1),
+                  Table::pct(1.0 - w.total() / g.total()),
+                  Table::pct(1.0 - e.total() / w.total())});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\n(latencies in us per sparse layer)\n");
+    return 0;
+}

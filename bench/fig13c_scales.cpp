@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Fig. 13(c): ER-Mapping improvement over the baseline mapping across
+ * WSC scales and TP degrees (Qwen3, 256 tokens per group).
+ *
+ * Expected shape: ER-Mapping always improves on the baseline; gains
+ * vary with FTD geometry and peak at a sweet-spot TP per scale.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+void
+sweep(int meshN, const std::vector<int> &tps)
+{
+    const MoEModelConfig model = qwen3();
+    Table t({"TP", "base AR", "base A2A", "ER AR", "ER A2A",
+             "total improvement"});
+    for (const int tp : tps) {
+        SystemConfig bc;
+        bc.platform = PlatformKind::WscBaseline;
+        bc.meshN = meshN;
+        bc.tp = tp;
+        const System base = System::make(bc);
+        bc.platform = PlatformKind::WscEr;
+        const System er = System::make(bc);
+        const auto rb =
+            evaluateCommunication(base.mapping(), model, 256, true);
+        const auto re =
+            evaluateCommunication(er.mapping(), model, 256, true);
+        t.addRow({std::to_string(tp),
+                  Table::num(rb.allReduce * 1e6, 1),
+                  Table::num(rb.allToAll() * 1e6, 1),
+                  Table::num(re.allReduce * 1e6, 1),
+                  Table::num(re.allToAll() * 1e6, 1),
+                  Table::pct(1.0 - re.total() / rb.total())});
+    }
+    std::printf("-- %dx%d WSC --\n%s\n", meshN, meshN,
+                t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 13(c): scales and parallelism configurations "
+                "(Qwen3) ==\n\n");
+    sweep(4, {2, 4, 8});
+    sweep(6, {2, 4, 6, 18});
+    sweep(8, {2, 4, 8, 16});
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 13(d): Hierarchical ER-Mapping on multi-WSC systems — the
+ * baseline mapping, flat ER-Mapping, and HER-Mapping compared across
+ * 4×(4×4), 4×(6×6), and 4×(8×8) systems and TP degrees (Qwen3).
+ *
+ * Expected shape: flat ER gains vary (entwined rings spanning wafers
+ * get expensive), while HER improves consistently in every case, up to
+ * ~60%+.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+void
+sweep(int meshN, const std::vector<int> &tps)
+{
+    const MoEModelConfig model = qwen3();
+    Table t({"TP", "baseline total", "ER total", "HER total",
+             "HER AR", "HER A2A", "ER vs base", "HER vs base"});
+    for (const int tp : tps) {
+        SystemConfig sc;
+        sc.meshN = meshN;
+        sc.wafers = 4;
+        sc.tp = tp;
+        sc.platform = PlatformKind::WscBaseline;
+        const System base = System::make(sc);
+        sc.platform = PlatformKind::WscEr;
+        const System er = System::make(sc);
+        sc.platform = PlatformKind::WscHer;
+        const System her = System::make(sc);
+        const auto rb =
+            evaluateCommunication(base.mapping(), model, 256, true);
+        const auto re =
+            evaluateCommunication(er.mapping(), model, 256, true);
+        const auto rh =
+            evaluateCommunication(her.mapping(), model, 256, true);
+        t.addRow({std::to_string(tp),
+                  Table::num(rb.total() * 1e6, 1),
+                  Table::num(re.total() * 1e6, 1),
+                  Table::num(rh.total() * 1e6, 1),
+                  Table::num(rh.allReduce * 1e6, 1),
+                  Table::num(rh.allToAll() * 1e6, 1),
+                  Table::pct(1.0 - re.total() / rb.total()),
+                  Table::pct(1.0 - rh.total() / rb.total())});
+    }
+    std::printf("-- 4x(%dx%d) WSC --\n%s\n", meshN, meshN,
+                t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 13(d): multi-wafer systems and HER-Mapping "
+                "(Qwen3) ==\n\n");
+    sweep(4, {4, 8, 16});
+    sweep(6, {4, 6, 36});
+    sweep(8, {4, 8, 16, 32});
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Fig. 14(a): ESP (Expert Sharding Parallelism) for the large-expert
+ * models DBRX and Mixtral — 32 GPUs vs a 6×6 WSC (baseline and
+ * ER-Mapping). Under ESP the token all-to-all disappears; latency is
+ * dominated by the EP-group all-reduce of expert partial sums.
+ *
+ * Expected shape: WSC beats the GPU cluster by ~50%; ER-Mapping still
+ * helps, but only modestly (~9%), because the EP all-reduce dominates.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+struct EspResult
+{
+    double attnAr;
+    double epAr;
+    double moe;
+
+    double total() const { return attnAr + epAr; }
+};
+
+EspResult
+runEsp(const System &sys, const MoEModelConfig &model)
+{
+    EngineConfig ec;
+    ec.model = model;
+    ec.esp = true;
+    ec.decodeTokensPerGroup = 256;
+    ec.workload.mode = GatingMode::Balanced;
+    InferenceEngine engine(sys.mapping(), ec);
+    const auto s = engine.step();
+    return EspResult{s.allReduce, s.epAllReduce, s.moeTime};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 14(a): ESP parallelism (DBRX, Mixtral) "
+                "==\n\n");
+    SystemConfig gpuCfg;
+    gpuCfg.platform = PlatformKind::DgxCluster;
+    gpuCfg.dgxNodes = 4;
+    gpuCfg.tp = 4;
+    const System gpu = System::make(gpuCfg);
+
+    SystemConfig wscCfg;
+    wscCfg.platform = PlatformKind::WscBaseline;
+    wscCfg.meshN = 6;
+    wscCfg.tp = 4;
+    const System wsc = System::make(wscCfg);
+
+    SystemConfig erCfg = wscCfg;
+    erCfg.platform = PlatformKind::WscEr;
+    const System er = System::make(erCfg);
+
+    Table t({"model", "GPU attn-AR", "GPU EP-AR", "WSC attn-AR",
+             "WSC EP-AR", "ER attn-AR", "ER EP-AR", "MoE comp",
+             "WSC vs GPU", "ER vs WSC"});
+    for (const auto &model : {dbrx(), mixtral8x22b()}) {
+        const auto g = runEsp(gpu, model);
+        const auto w = runEsp(wsc, model);
+        const auto e = runEsp(er, model);
+        t.addRow({model.name, Table::num(g.attnAr * 1e6, 1),
+                  Table::num(g.epAr * 1e6, 1),
+                  Table::num(w.attnAr * 1e6, 1),
+                  Table::num(w.epAr * 1e6, 1),
+                  Table::num(e.attnAr * 1e6, 1),
+                  Table::num(e.epAr * 1e6, 1),
+                  Table::num(e.moe * 1e6, 1),
+                  Table::pct(1.0 - w.total() / g.total()),
+                  Table::pct(1.0 - e.total() / w.total())});
+    }
+    std::printf("%s\n(latencies in us per sparse layer)\n",
+                t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fig. 14(b): justifying the retention of the all-gather half of the
+ * attention all-reduce. Retaining AG doubles the (small) all-reduce
+ * but shortens token-fetch distances in the subsequent all-to-all.
+ *
+ * Expected shape: "with AG" wins on total communication for every
+ * many-expert model (paper: ~17% average).
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+int
+main()
+{
+    std::printf("== Fig. 14(b): retaining the all-gather ==\n\n");
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscEr;
+    sc.meshN = 6;
+    sc.tp = 4;
+    const System sys = System::make(sc);
+
+    Table t({"model", "AR w/o AG", "AR with AG", "A2A w/o AG",
+             "A2A with AG", "total w/o", "total with", "AG benefit"});
+    for (const auto &model : allModels()) {
+        const auto without =
+            evaluateCommunication(sys.mapping(), model, 256, false);
+        const auto with =
+            evaluateCommunication(sys.mapping(), model, 256, true);
+        t.addRow({model.name, Table::num(without.allReduce * 1e6, 1),
+                  Table::num(with.allReduce * 1e6, 1),
+                  Table::num(without.allToAll() * 1e6, 1),
+                  Table::num(with.allToAll() * 1e6, 1),
+                  Table::num(without.total() * 1e6, 1),
+                  Table::num(with.total() * 1e6, 1),
+                  Table::pct(1.0 - with.total() / without.total())});
+    }
+    std::printf("%s\n(latencies in us per sparse layer, 6x6 WSC + "
+                "ER-Mapping)\n",
+                t.render().c_str());
+    return 0;
+}

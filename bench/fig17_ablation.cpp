@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fig. 17: ablation ladder comparing a multi-WSC system (4×(8×8),
+ * 256 devices) against the NVL72 supernode for DeepSeek-V3 and Qwen3:
+ *
+ *   NVL72 → NVL72+Balance → WSC → +ER-Mapping → +HER-Mapping
+ *   → +HER+Greedy → +HER+Topology-aware → +HER+Non-invasive.
+ *
+ * Expected shape: the raw WSC is throttled by mesh all-to-all; ER and
+ * HER remove the communication bottleneck; invasive balancing adds
+ * exposed migration that the topology-aware variant shrinks and the
+ * NI-Balancer eliminates; the final configuration beats NVL72 on
+ * per-device MoE latency (paper: ~39% average).
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    double a2a;
+    double moe;
+    double migration;
+
+    double total() const { return std::max(a2a, moe) + migration; }
+};
+
+Row
+run(const std::string &name, const System &sys,
+    const MoEModelConfig &model, BalancerKind balancer,
+    bool migrationViaDisk = false)
+{
+    EngineConfig ec;
+    ec.model = model;
+    ec.migrationViaDisk = migrationViaDisk;
+    // Equal per-device routed-token load across platforms: with
+    // tokens/group proportional to TP, every device sees
+    // 32 x topk routed tokens regardless of the device count.
+    ec.decodeTokensPerGroup = 32 * sys.mapping().tp();
+    ec.workload.mode = GatingMode::MixedScenario;
+    ec.workload.mixPeriod = 60;
+    ec.balancer = balancer;
+    ec.alpha = 0.5;
+    ec.beta = 5;
+    InferenceEngine engine(sys.mapping(), ec);
+
+    Summary a2a;
+    Summary moe;
+    double migration = 0.0;
+    const auto trace = engine.run(40);
+    for (std::size_t i = 10; i < trace.size(); ++i) {
+        a2a.add(trace[i].allToAll());
+        moe.add(trace[i].moeTime);
+        migration += trace[i].migrationOverhead;
+    }
+    return Row{name, a2a.mean(), moe.mean(),
+               migration / static_cast<double>(trace.size() - 10)};
+}
+
+void
+ladder(const MoEModelConfig &model)
+{
+    std::printf("-- %s --\n", model.name.c_str());
+    std::vector<Row> rows;
+
+    SystemConfig nvl;
+    nvl.platform = PlatformKind::Nvl72;
+    nvl.tp = 4;
+    const System nvlSys = System::make(nvl);
+    rows.push_back(run("NVL72", nvlSys, model, BalancerKind::None));
+    // NVL72 hides migration behind dedicated NVMe channels.
+    rows.push_back(run("NVL72 + Balance", nvlSys, model,
+                       BalancerKind::Greedy, true));
+
+    SystemConfig wsc;
+    wsc.meshN = 8;
+    wsc.wafers = 4;
+    wsc.tp = 16;
+    wsc.platform = PlatformKind::WscBaseline;
+    const System base = System::make(wsc);
+    rows.push_back(run("WSC", base, model, BalancerKind::None));
+
+    wsc.platform = PlatformKind::WscEr;
+    const System er = System::make(wsc);
+    rows.push_back(
+        run("WSC + ER-Mapping", er, model, BalancerKind::None));
+
+    wsc.platform = PlatformKind::WscHer;
+    const System her = System::make(wsc);
+    rows.push_back(
+        run("WSC + HER-Mapping", her, model, BalancerKind::None));
+    rows.push_back(run("WSC + HER + Greedy", her, model,
+                       BalancerKind::Greedy));
+    rows.push_back(run("WSC + HER + Topology", her, model,
+                       BalancerKind::TopologyAware));
+    rows.push_back(run("WSC + HER + Non-invasive", her, model,
+                       BalancerKind::NonInvasive));
+
+    const double reference = rows.front().total();
+    Table t({"configuration", "A2A (us)", "MoE comp (us)",
+             "migration (us)", "total (us)", "vs NVL72"});
+    for (const Row &r : rows) {
+        t.addRow({r.name, Table::num(r.a2a * 1e6, 1),
+                  Table::num(r.moe * 1e6, 1),
+                  Table::num(r.migration * 1e6, 2),
+                  Table::num(r.total() * 1e6, 1),
+                  Table::pct(reference / r.total() - 1.0)});
+    }
+    std::printf("%s\n", t.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Fig. 17: multi-WSC system vs NVL72 supernode "
+                "==\n\n");
+    ladder(deepseekV3());
+    ladder(qwen3());
+    return 0;
+}

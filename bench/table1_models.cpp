@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Table I: parameters of the evaluation MoE models.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+int
+main()
+{
+    std::printf("== Table I: Parameters of Evaluation MoE Models ==\n\n");
+    Table t({"Model", "Size", "Layers (sparse/total)",
+             "Single Expert Size", "Experts (act/total)", "Hidden",
+             "E/D at EP=256"});
+    for (const auto &m : allModels()) {
+        t.addRow({m.name, Table::num(m.totalParams / 1e9, 0) + "B",
+                  std::to_string(m.sparseLayers) + " / " +
+                      std::to_string(m.totalLayers),
+                  Table::num(m.expertBytes / units::MB, 0) + "MB",
+                  std::to_string(m.expertsActivated) + " / " +
+                      std::to_string(m.expertsTotal),
+                  std::to_string(m.hiddenSize),
+                  Table::num(m.edRatio(256), 2)});
+    }
+    std::printf("%s\n", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Platform comparison: one sparse layer's communication latency for
+ * Qwen3 across a 4-node DGX, a 6×6 wafer under baseline mapping, and
+ * the same wafer under ER-Mapping — the paper's headline Section VI-B
+ * comparison in miniature.
+ */
+
+#include <cstdio>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+void
+report(const char *label, const CommEvalResult &r)
+{
+    std::printf("%-28s AR %8.1f us   A2A %8.1f us   total %8.1f us\n",
+                label, r.allReduce * 1e6, r.allToAll() * 1e6,
+                r.total() * 1e6);
+}
+
+} // namespace
+
+int
+main()
+{
+    const MoEModelConfig model = qwen3();
+    const int tokens = 256;
+
+    // 4-node DGX (32 GPUs), TP=4.
+    SystemConfig dgxCfg;
+    dgxCfg.platform = PlatformKind::DgxCluster;
+    dgxCfg.dgxNodes = 4;
+    dgxCfg.tp = 4;
+    System dgx = System::make(dgxCfg);
+    const auto rDgx =
+        evaluateCommunication(dgx.mapping(), model, tokens, true);
+    report(dgx.name().c_str(), rDgx);
+
+    // 6×6 WSC, baseline mapping, TP=4.
+    SystemConfig wscCfg;
+    wscCfg.platform = PlatformKind::WscBaseline;
+    wscCfg.meshN = 6;
+    wscCfg.tp = 4;
+    System wscBase = System::make(wscCfg);
+    const auto rBase =
+        evaluateCommunication(wscBase.mapping(), model, tokens, true);
+    report(wscBase.name().c_str(), rBase);
+
+    // Same wafer, ER-Mapping.
+    wscCfg.platform = PlatformKind::WscEr;
+    System wscEr = System::make(wscCfg);
+    const auto rEr =
+        evaluateCommunication(wscEr.mapping(), model, tokens, true);
+    report(wscEr.name().c_str(), rEr);
+
+    std::printf("\nWSC vs DGX total comm: %+.1f%%\n",
+                (1.0 - rBase.total() / rDgx.total()) * 100.0);
+    std::printf("ER-Mapping vs baseline A2A: %+.1f%%\n",
+                (1.0 - rEr.allToAll() / rBase.allToAll()) * 100.0);
+    std::printf("ER-Mapping vs baseline total: %+.1f%%\n",
+                (1.0 - rEr.total() / rBase.total()) * 100.0);
+    return 0;
+}

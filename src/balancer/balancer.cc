@@ -1,0 +1,229 @@
+#include "balancer/balancer.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+RebalanceTrigger::RebalanceTrigger(double alpha, int beta)
+    : alpha_(alpha), beta_(beta), sinceLast_(beta)
+{
+    MOE_ASSERT(alpha > 0.0, "alpha must be positive");
+    MOE_ASSERT(beta >= 0, "beta must be non-negative");
+}
+
+bool
+RebalanceTrigger::poll(double imbalance)
+{
+    MOE_ASSERT(imbalance >= 0.0, "imbalance must be non-negative");
+    accumulated_ += imbalance;
+    if (accumulated_ > alpha_ && sinceLast_ >= beta_) {
+        accumulated_ = 0.0;
+        sinceLast_ = 0;
+        return true;
+    }
+    ++sinceLast_;
+    return false;
+}
+
+namespace {
+
+/** Destination/source policy for the shared replication loop. */
+struct ReplicationPolicy
+{
+    /** Pick the destination among cold candidate devices. */
+    DeviceId (*chooseDst)(const Topology *topo,
+                          const ExpertPlacement &placement,
+                          const std::vector<double> &heats,
+                          const std::vector<DeviceId> &candidates,
+                          int expert);
+    /** Pick the replica the weights are copied from. */
+    DeviceId (*chooseSrc)(const Topology *topo,
+                          const std::vector<DeviceId> &replicas,
+                          DeviceId dst);
+};
+
+/**
+ * Algorithm 1's core loop: repeatedly replicate the most loaded expert
+ * of the hottest device onto a colder device until no improvement is
+ * possible. Returns the (expert, dst) additions in order.
+ */
+std::vector<std::pair<int, DeviceId>>
+replicationLoop(const std::vector<double> &loads,
+                ExpertPlacement &placement, const Topology *topo,
+                const ReplicationPolicy &policy)
+{
+    std::vector<std::pair<int, DeviceId>> added;
+    const int maxAdds = placement.numDevices() * placement.shadowSlots();
+
+    for (int round = 0; round < maxAdds; ++round) {
+        const auto heats = placement.deviceHeats(loads);
+        const auto hottest = static_cast<DeviceId>(
+            std::max_element(heats.begin(), heats.end()) - heats.begin());
+
+        // Most loaded per-replica share on the hottest device.
+        int srcExpert = -1;
+        double share = 0.0;
+        for (const int e : placement.expertsOn(hottest)) {
+            const double s = loads[static_cast<std::size_t>(e)] /
+                placement.numReplicas(e);
+            if (s > share) {
+                share = s;
+                srcExpert = e;
+            }
+        }
+        if (srcExpert < 0 || share <= 0.0)
+            break; // nothing worth replicating
+
+        // Cold set (paper line 5): devices whose heat would stay below
+        // the current peak after hosting one more replica share, with a
+        // free slot and no existing replica. Adding the new share to
+        // the candidate keeps the global peak strictly decreasing.
+        const double newShare = loads[static_cast<std::size_t>(
+                                    srcExpert)] /
+            (placement.numReplicas(srcExpert) + 1);
+        std::vector<DeviceId> cold;
+        for (DeviceId d = 0; d < placement.numDevices(); ++d) {
+            if (d == hottest || placement.freeSlots(d) <= 0 ||
+                placement.hosts(d, srcExpert)) {
+                continue;
+            }
+            if (heats[static_cast<std::size_t>(d)] + newShare <
+                heats[static_cast<std::size_t>(hottest)]) {
+                cold.push_back(d);
+            }
+        }
+        if (cold.empty())
+            break; // line 6: no capable destination remains
+
+        const DeviceId dst =
+            policy.chooseDst(topo, placement, heats, cold, srcExpert);
+        placement.addReplica(srcExpert, dst);
+        added.emplace_back(srcExpert, dst);
+    }
+    return added;
+}
+
+DeviceId
+coldestDst(const Topology *, const ExpertPlacement &,
+           const std::vector<double> &heats,
+           const std::vector<DeviceId> &candidates, int)
+{
+    DeviceId best = candidates.front();
+    for (const DeviceId d : candidates) {
+        if (heats[static_cast<std::size_t>(d)] <
+            heats[static_cast<std::size_t>(best)]) {
+            best = d;
+        }
+    }
+    return best;
+}
+
+DeviceId
+nearestDst(const Topology *topo, const ExpertPlacement &placement,
+           const std::vector<double> &heats,
+           const std::vector<DeviceId> &candidates, int expert)
+{
+    DeviceId best = candidates.front();
+    int bestHops = std::numeric_limits<int>::max();
+    for (const DeviceId d : candidates) {
+        int h = std::numeric_limits<int>::max();
+        for (const DeviceId r : placement.replicasOf(expert))
+            h = std::min(h, topo->hops(r, d));
+        if (h < bestHops ||
+            (h == bestHops && heats[static_cast<std::size_t>(d)] <
+                                  heats[static_cast<std::size_t>(best)])) {
+            bestHops = h;
+            best = d;
+        }
+    }
+    return best;
+}
+
+DeviceId
+firstReplicaSrc(const Topology *, const std::vector<DeviceId> &replicas,
+                DeviceId)
+{
+    return replicas.front();
+}
+
+DeviceId
+nearestReplicaSrc(const Topology *topo,
+                  const std::vector<DeviceId> &replicas, DeviceId dst)
+{
+    DeviceId best = replicas.front();
+    int bestHops = std::numeric_limits<int>::max();
+    for (const DeviceId r : replicas) {
+        const int h = topo->hops(r, dst);
+        if (h < bestHops) {
+            bestHops = h;
+            best = r;
+        }
+    }
+    return best;
+}
+
+/**
+ * Shared rebalance driver: rebuild the target from native, run the
+ * loop, and diff against the previous replica set to derive the weight
+ * copies actually required.
+ */
+std::vector<MigrationStep>
+rebalanceWith(const std::vector<double> &loads, ExpertPlacement &placement,
+              const Topology *topo, const ReplicationPolicy &policy)
+{
+    // Snapshot the replicas present before re-planning: copies to a
+    // device that already held the expert are free.
+    std::set<std::pair<int, DeviceId>> before;
+    for (int e = 0; e < placement.numExperts(); ++e)
+        for (const DeviceId d : placement.replicasOf(e))
+            before.emplace(e, d);
+
+    placement.resetToNative();
+    const auto added = replicationLoop(loads, placement, topo, policy);
+
+    std::vector<MigrationStep> steps;
+    for (const auto &[expert, dst] : added) {
+        if (before.count({expert, dst}))
+            continue;
+        // Copy sources must hold the weights *now*: pick among the
+        // replicas present before the re-plan.
+        std::vector<DeviceId> holders;
+        for (const auto &[e, d] : before)
+            if (e == expert)
+                holders.push_back(d);
+        MOE_ASSERT(!holders.empty(), "expert with no prior replica");
+        const DeviceId src = policy.chooseSrc(topo, holders, dst);
+        steps.push_back(MigrationStep{expert, src, dst});
+    }
+    return steps;
+}
+
+} // namespace
+
+std::vector<MigrationStep>
+GreedyBalancer::rebalance(const std::vector<double> &expertLoads,
+                          ExpertPlacement &placement)
+{
+    const ReplicationPolicy policy{coldestDst, firstReplicaSrc};
+    return rebalanceWith(expertLoads, placement, nullptr, policy);
+}
+
+TopologyAwareBalancer::TopologyAwareBalancer(const Topology &topo)
+    : topo_(topo)
+{
+}
+
+std::vector<MigrationStep>
+TopologyAwareBalancer::rebalance(const std::vector<double> &expertLoads,
+                                 ExpertPlacement &placement)
+{
+    const ReplicationPolicy policy{nearestDst, nearestReplicaSrc};
+    return rebalanceWith(expertLoads, placement, &topo_, policy);
+}
+
+} // namespace moentwine

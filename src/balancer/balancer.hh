@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Expert load balancers: the Eq.(2) rebalance trigger, the EPLB-style
+ * greedy balancer, and the topology-aware balancer of Algorithm 1.
+ *
+ * Both balancers plan a *target* placement from the predicted expert
+ * loads: starting from the native placement, they repeatedly replicate
+ * the most loaded expert of the hottest device onto a colder device
+ * until peak heat can no longer be reduced. They differ in destination
+ * choice:
+ *  - Greedy (EPLB): the globally coldest device with a free slot,
+ *    copied from the expert's first (native) replica — oblivious to
+ *    distance, hence long invasive migrations;
+ *  - Topology-aware (Algorithm 1): among the devices whose heat would
+ *    stay below the current peak, the one nearest to an existing
+ *    replica — same balance quality, far shorter transfers.
+ *
+ * The migration steps returned are the replica copies that must move
+ * weights over the network; dropping stale shadow replicas is free.
+ */
+
+#ifndef MOENTWINE_BALANCER_BALANCER_HH
+#define MOENTWINE_BALANCER_BALANCER_HH
+
+#include <string>
+#include <vector>
+
+#include "balancer/placement.hh"
+#include "topology/topology.hh"
+
+namespace moentwine {
+
+/** One expert-weight copy over the network. */
+struct MigrationStep
+{
+    /** Expert whose weights are copied. */
+    int expert;
+    /** Replica device the weights are read from. */
+    DeviceId srcDevice;
+    /** Shadow slot the weights are written to. */
+    DeviceId dstDevice;
+};
+
+/**
+ * Eq.(2) rebalance trigger: fires when the cumulative imbalance degree
+ * exceeds alpha and at least beta iterations have passed since the last
+ * migration (beta = 0 for non-invasive balancing).
+ */
+class RebalanceTrigger
+{
+  public:
+    /**
+     * @param alpha Cumulative imbalance threshold (> 0).
+     * @param beta  Minimum iterations between migrations (≥ 0).
+     */
+    RebalanceTrigger(double alpha, int beta);
+
+    /**
+     * Record one iteration's imbalance degree; returns true when the
+     * trigger fires (and resets the accumulator).
+     */
+    bool poll(double imbalance);
+
+    /** Accumulated imbalance since the last firing. */
+    double accumulated() const { return accumulated_; }
+
+  private:
+    double alpha_;
+    int beta_;
+    double accumulated_ = 0.0;
+    int sinceLast_;
+};
+
+/**
+ * Base class of placement balancers.
+ */
+class Balancer
+{
+  public:
+    virtual ~Balancer() = default;
+
+    /** Balancer name for bench output. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Recompute the shadow-replica assignment for the predicted loads.
+     *
+     * The placement is reset to native and rebuilt; the returned steps
+     * are the weight copies required to realise the new assignment
+     * relative to @p previous (replicas already present cost nothing).
+     *
+     * @param expertLoads Predicted per-expert loads.
+     * @param placement   Placement to mutate into the new target.
+     * @return Required weight-copy migrations.
+     */
+    virtual std::vector<MigrationStep> rebalance(
+        const std::vector<double> &expertLoads,
+        ExpertPlacement &placement) = 0;
+};
+
+/**
+ * EPLB-style greedy balancer (topology-oblivious).
+ */
+class GreedyBalancer : public Balancer
+{
+  public:
+    std::string name() const override { return "Greedy"; }
+
+    std::vector<MigrationStep> rebalance(
+        const std::vector<double> &expertLoads,
+        ExpertPlacement &placement) override;
+};
+
+/**
+ * Topology-aware balancer (Algorithm 1 of the paper).
+ */
+class TopologyAwareBalancer : public Balancer
+{
+  public:
+    /** @param topo Topology used for nearest-destination selection. */
+    explicit TopologyAwareBalancer(const Topology &topo);
+
+    std::string name() const override { return "Topology-aware"; }
+
+    std::vector<MigrationStep> rebalance(
+        const std::vector<double> &expertLoads,
+        ExpertPlacement &placement) override;
+
+  private:
+    const Topology &topo_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_BALANCER_BALANCER_HH

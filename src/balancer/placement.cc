@@ -1,0 +1,144 @@
+#include "balancer/placement.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+ExpertPlacement::ExpertPlacement(int numExperts, int numDevices,
+                                 int shadowSlots)
+    : numExperts_(numExperts),
+      numDevices_(numDevices),
+      shadowSlots_(shadowSlots)
+{
+    MOE_ASSERT(numExperts > 0, "placement needs at least one expert");
+    MOE_ASSERT(numDevices > 0, "placement needs at least one device");
+    MOE_ASSERT(shadowSlots >= 0, "negative shadow slot count");
+
+    byDevice_.resize(static_cast<std::size_t>(numDevices));
+    byExpert_.resize(static_cast<std::size_t>(numExperts));
+    capacity_.resize(static_cast<std::size_t>(numDevices), 0);
+
+    if (numExperts >= numDevices) {
+        for (int e = 0; e < numExperts; ++e) {
+            const DeviceId d = e % numDevices;
+            byDevice_[static_cast<std::size_t>(d)].push_back(e);
+            byExpert_[static_cast<std::size_t>(e)].push_back(d);
+        }
+    } else {
+        for (DeviceId d = 0; d < numDevices; ++d) {
+            const int e = d % numExperts;
+            byDevice_[static_cast<std::size_t>(d)].push_back(e);
+            byExpert_[static_cast<std::size_t>(e)].push_back(d);
+        }
+    }
+    nativeByDevice_ = byDevice_;
+    for (DeviceId d = 0; d < numDevices; ++d) {
+        capacity_[static_cast<std::size_t>(d)] =
+            static_cast<int>(byDevice_[static_cast<std::size_t>(d)]
+                                 .size()) + shadowSlots;
+    }
+}
+
+const std::vector<int> &
+ExpertPlacement::expertsOn(DeviceId d) const
+{
+    MOE_ASSERT(d >= 0 && d < numDevices_, "expertsOn: bad device");
+    return byDevice_[static_cast<std::size_t>(d)];
+}
+
+const std::vector<DeviceId> &
+ExpertPlacement::replicasOf(int expert) const
+{
+    MOE_ASSERT(expert >= 0 && expert < numExperts_,
+               "replicasOf: bad expert");
+    return byExpert_[static_cast<std::size_t>(expert)];
+}
+
+int
+ExpertPlacement::numReplicas(int expert) const
+{
+    return static_cast<int>(replicasOf(expert).size());
+}
+
+bool
+ExpertPlacement::hosts(DeviceId d, int expert) const
+{
+    const auto &experts = expertsOn(d);
+    return std::find(experts.begin(), experts.end(), expert) !=
+           experts.end();
+}
+
+int
+ExpertPlacement::freeSlots(DeviceId d) const
+{
+    MOE_ASSERT(d >= 0 && d < numDevices_, "freeSlots: bad device");
+    return capacity_[static_cast<std::size_t>(d)] -
+           static_cast<int>(byDevice_[static_cast<std::size_t>(d)].size());
+}
+
+void
+ExpertPlacement::addReplica(int expert, DeviceId d)
+{
+    MOE_ASSERT(expert >= 0 && expert < numExperts_,
+               "addReplica: bad expert");
+    MOE_ASSERT(d >= 0 && d < numDevices_, "addReplica: bad device");
+    MOE_ASSERT(!hosts(d, expert), "device already hosts this expert");
+    MOE_ASSERT(freeSlots(d) > 0, "no free shadow slot on device");
+    byDevice_[static_cast<std::size_t>(d)].push_back(expert);
+    byExpert_[static_cast<std::size_t>(expert)].push_back(d);
+}
+
+void
+ExpertPlacement::removeReplica(int expert, DeviceId d)
+{
+    MOE_ASSERT(hosts(d, expert), "removeReplica: replica not present");
+    MOE_ASSERT(numReplicas(expert) > 1,
+               "cannot remove the last replica of an expert");
+    MOE_ASSERT(!isNative(d, expert), "cannot remove a native replica");
+    auto &experts = byDevice_[static_cast<std::size_t>(d)];
+    experts.erase(std::find(experts.begin(), experts.end(), expert));
+    auto &devices = byExpert_[static_cast<std::size_t>(expert)];
+    devices.erase(std::find(devices.begin(), devices.end(), d));
+}
+
+void
+ExpertPlacement::resetToNative()
+{
+    byDevice_ = nativeByDevice_;
+    for (auto &devices : byExpert_)
+        devices.clear();
+    for (DeviceId d = 0; d < numDevices_; ++d)
+        for (const int e : byDevice_[static_cast<std::size_t>(d)])
+            byExpert_[static_cast<std::size_t>(e)].push_back(d);
+}
+
+bool
+ExpertPlacement::isNative(DeviceId d, int expert) const
+{
+    MOE_ASSERT(d >= 0 && d < numDevices_, "isNative: bad device");
+    const auto &natives = nativeByDevice_[static_cast<std::size_t>(d)];
+    return std::find(natives.begin(), natives.end(), expert) !=
+           natives.end();
+}
+
+std::vector<double>
+ExpertPlacement::deviceHeats(const std::vector<double> &expertLoads) const
+{
+    MOE_ASSERT(expertLoads.size() ==
+                   static_cast<std::size_t>(numExperts_),
+               "expert load vector width mismatch");
+    std::vector<double> heats(static_cast<std::size_t>(numDevices_), 0.0);
+    for (DeviceId d = 0; d < numDevices_; ++d) {
+        double heat = 0.0;
+        for (const int e : byDevice_[static_cast<std::size_t>(d)]) {
+            heat += expertLoads[static_cast<std::size_t>(e)] /
+                static_cast<double>(numReplicas(e));
+        }
+        heats[static_cast<std::size_t>(d)] = heat;
+    }
+    return heats;
+}
+
+} // namespace moentwine

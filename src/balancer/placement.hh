@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Expert placement: which devices host which expert replicas.
+ *
+ * Every device owns its *native* experts (assigned round-robin at load
+ * time) plus a fixed number of *shadow slots* that balancers fill with
+ * replicas of popular experts (Fig. 7(a) of the paper). Tokens routed
+ * to an expert are split evenly across its replicas, so a device's
+ * heat is Σ Load_e / Num_e over the experts it hosts (Algorithm 1).
+ */
+
+#ifndef MOENTWINE_BALANCER_PLACEMENT_HH
+#define MOENTWINE_BALANCER_PLACEMENT_HH
+
+#include <vector>
+
+#include "topology/topology.hh"
+
+namespace moentwine {
+
+/**
+ * Mutable expert→device replica assignment with shadow-slot capacity.
+ */
+class ExpertPlacement
+{
+  public:
+    /**
+     * Round-robin native placement.
+     *
+     * When experts ≥ devices, expert e lives natively on device
+     * e mod D (multiple experts per device — the E/D > 1 regime).
+     * When devices > experts, device d natively hosts expert d mod E,
+     * so popular experts start with several replicas (E/D < 1).
+     *
+     * @param numExperts  Routed experts per layer.
+     * @param numDevices  Devices participating in EP.
+     * @param shadowSlots Extra replica slots per device.
+     */
+    ExpertPlacement(int numExperts, int numDevices, int shadowSlots);
+
+    /** Number of routed experts. */
+    int numExperts() const { return numExperts_; }
+
+    /** Number of devices. */
+    int numDevices() const { return numDevices_; }
+
+    /** Shadow slots per device. */
+    int shadowSlots() const { return shadowSlots_; }
+
+    /** Expert ids hosted by a device (native + shadow). */
+    const std::vector<int> &expertsOn(DeviceId d) const;
+
+    /** Devices holding a replica of an expert. */
+    const std::vector<DeviceId> &replicasOf(int expert) const;
+
+    /** Replica count of an expert (Num_e in Algorithm 1). */
+    int numReplicas(int expert) const;
+
+    /** True when the device currently hosts the expert. */
+    bool hosts(DeviceId d, int expert) const;
+
+    /** Remaining shadow-slot capacity of a device. */
+    int freeSlots(DeviceId d) const;
+
+    /** Add a replica; panics when the device lacks a free slot. */
+    void addReplica(int expert, DeviceId d);
+
+    /**
+     * Remove a shadow replica. Panics when removing the last replica
+     * of an expert or a replica that does not exist.
+     */
+    void removeReplica(int expert, DeviceId d);
+
+    /** Drop all shadow replicas, returning to the native placement. */
+    void resetToNative();
+
+    /** True when (d, expert) is a native (non-evictable) assignment. */
+    bool isNative(DeviceId d, int expert) const;
+
+    /**
+     * Device heats given per-expert loads: Heat_d = Σ Load_e / Num_e
+     * over experts hosted by d.
+     */
+    std::vector<double> deviceHeats(
+        const std::vector<double> &expertLoads) const;
+
+    /**
+     * Per-device routed token counts for the given per-expert loads
+     * (loads split evenly across replicas — identical to heats, kept
+     * as an alias for intent-revealing call sites).
+     */
+    std::vector<double> deviceLoads(
+        const std::vector<double> &expertLoads) const
+    {
+        return deviceHeats(expertLoads);
+    }
+
+  private:
+    int numExperts_;
+    int numDevices_;
+    int shadowSlots_;
+    std::vector<std::vector<int>> byDevice_;
+    std::vector<std::vector<DeviceId>> byExpert_;
+    std::vector<int> capacity_;
+    std::vector<std::vector<int>> nativeByDevice_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_BALANCER_PLACEMENT_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal gem5-style status/error reporting helpers.
+ *
+ * Two terminating helpers are provided, mirroring gem5's conventions:
+ *   - panic():   an internal simulator invariant was violated (a bug in
+ *                this code base); aborts so a core dump is available.
+ *   - fatal():   the user supplied an impossible configuration; exits
+ *                with a non-zero status after printing the reason.
+ *
+ * warn() and inform() print non-fatal status messages to stderr.
+ */
+
+#ifndef MOENTWINE_COMMON_LOGGING_HH
+#define MOENTWINE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace moentwine {
+
+/**
+ * Abort the process after reporting an internal invariant violation.
+ *
+ * @param msg Human-readable description of the broken invariant.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+/**
+ * Exit the process after reporting a user configuration error.
+ *
+ * @param msg Human-readable description of the invalid configuration.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+/** Print a non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Print an informational status message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+/**
+ * Check a simulator invariant; panics with the stringified expression
+ * when the condition does not hold. Always active (not compiled out in
+ * release builds) because the simulator is cheap relative to the cost
+ * of silently wrong results.
+ */
+#define MOE_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::moentwine::panic(std::string("assertion failed: ") + #cond + \
+                               " — " + (msg));                              \
+        }                                                                   \
+    } while (0)
+
+} // namespace moentwine
+
+#endif // MOENTWINE_COMMON_LOGGING_HH

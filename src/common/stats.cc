@@ -1,0 +1,133 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+void
+Summary::add(double x)
+{
+    samples_.push_back(x);
+    sum_ += x;
+}
+
+double
+Summary::mean() const
+{
+    MOE_ASSERT(!samples_.empty(), "mean of empty Summary");
+    return sum_ / static_cast<double>(samples_.size());
+}
+
+double
+Summary::min() const
+{
+    MOE_ASSERT(!samples_.empty(), "min of empty Summary");
+    return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::max() const
+{
+    MOE_ASSERT(!samples_.empty(), "max of empty Summary");
+    return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double
+Summary::stddev() const
+{
+    if (samples_.size() < 2)
+        return 0.0;
+    const double m = mean();
+    double acc = 0.0;
+    for (double x : samples_)
+        acc += (x - m) * (x - m);
+    return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double
+Summary::percentile(double p) const
+{
+    MOE_ASSERT(!samples_.empty(), "percentile of empty Summary");
+    MOE_ASSERT(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(rank));
+    const auto hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    MOE_ASSERT(hi > lo, "Histogram requires hi > lo");
+    MOE_ASSERT(bins > 0, "Histogram requires at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    auto idx = static_cast<long>(std::floor((x - lo_) / width));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    return lo_ + width * static_cast<double>(i);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::size_t peak = 1;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "%10.4g | ", binLow(i));
+        out += label;
+        const auto bar = counts_[i] * width / peak;
+        out.append(bar, '#');
+        out += " (" + std::to_string(counts_[i]) + ")\n";
+    }
+    return out;
+}
+
+double
+meanOf(const std::vector<double> &xs)
+{
+    MOE_ASSERT(!xs.empty(), "meanOf empty vector");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+maxOf(const std::vector<double> &xs)
+{
+    MOE_ASSERT(!xs.empty(), "maxOf empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double
+imbalanceDegree(const std::vector<double> &loads)
+{
+    const double mu = meanOf(loads);
+    MOE_ASSERT(mu > 0.0, "imbalanceDegree requires a positive mean load");
+    return (maxOf(loads) - mu) / mu;
+}
+
+} // namespace moentwine

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Lightweight statistics helpers used by the engine and benches:
+ * running summaries (min/max/mean/stddev), percentiles over retained
+ * samples, and a fixed-bin histogram.
+ */
+
+#ifndef MOENTWINE_COMMON_STATS_HH
+#define MOENTWINE_COMMON_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace moentwine {
+
+/**
+ * Running summary of a stream of samples. Retains all samples so exact
+ * percentiles are available; simulator sample counts are small (at most
+ * a few hundred thousand doubles).
+ */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples added so far. */
+    std::size_t count() const { return samples_.size(); }
+
+    /** Sum of all samples (0 when empty). */
+    double sum() const { return sum_; }
+
+    /** Arithmetic mean; panics when empty. */
+    double mean() const;
+
+    /** Smallest sample; panics when empty. */
+    double min() const;
+
+    /** Largest sample; panics when empty. */
+    double max() const;
+
+    /** Sample standard deviation (0 for fewer than two samples). */
+    double stddev() const;
+
+    /**
+     * Exact percentile with linear interpolation.
+     * @param p Percentile in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** All retained samples in insertion order. */
+    const std::vector<double> &samples() const { return samples_; }
+
+  private:
+    std::vector<double> samples_;
+    double sum_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi); samples outside the range clamp
+ * into the first/last bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must exceed @p lo.
+     * @param bins Number of bins; must be positive.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample (clamped into range). */
+    void add(double x);
+
+    /** Number of samples in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Number of bins. */
+    std::size_t numBins() const { return counts_.size(); }
+
+    /** Total samples added. */
+    std::size_t total() const { return total_; }
+
+    /** Lower edge of bin @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Render a compact one-line-per-bin ASCII view. */
+    std::string render(std::size_t width = 40) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Mean of a vector; panics when empty. */
+double meanOf(const std::vector<double> &xs);
+
+/** Maximum of a vector; panics when empty. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Imbalance degree of a load vector, as used in Eq.(2) of the paper:
+ * (max - mean) / mean. Zero for a perfectly balanced vector; panics on
+ * an empty vector or a zero mean.
+ */
+double imbalanceDegree(const std::vector<double> &loads);
+
+} // namespace moentwine
+
+#endif // MOENTWINE_COMMON_STATS_HH

@@ -1,0 +1,73 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+Table::Table(std::vector<std::string> header)
+    : header_(std::move(header))
+{
+    MOE_ASSERT(!header_.empty(), "Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    MOE_ASSERT(row.size() == header_.size(),
+               "Table row width must match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<std::size_t> width(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        width[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            out.append(width[c] - row[c].size(), ' ');
+            if (c + 1 < row.size())
+                out += "  ";
+        }
+        out += '\n';
+        return out;
+    };
+
+    std::string out = renderRow(header_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c + 1 < width.size() ? 2 : 0);
+    out.append(total, '-');
+    out += '\n';
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    return out;
+}
+
+std::string
+Table::num(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%+.*f%%", decimals, fraction * 100.0);
+    return buf;
+}
+
+} // namespace moentwine

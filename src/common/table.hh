@@ -1,0 +1,48 @@
+/**
+ * @file
+ * ASCII table printer used by the bench binaries to emit the rows and
+ * series of each paper table/figure in a uniform, diff-friendly layout.
+ */
+
+#ifndef MOENTWINE_COMMON_TABLE_HH
+#define MOENTWINE_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace moentwine {
+
+/**
+ * Column-aligned ASCII table. Usage:
+ * @code
+ *   Table t({"model", "latency (us)", "speedup"});
+ *   t.addRow({"DeepSeek-V3", Table::num(123.4), Table::pct(0.39)});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with header cells. */
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Render the full table with a separator under the header. */
+    std::string render() const;
+
+    /** Format a double with the given number of decimals. */
+    static std::string num(double v, int decimals = 3);
+
+    /** Format a fraction as a signed percentage, e.g. 0.39 → "+39.0%". */
+    static std::string pct(double fraction, int decimals = 1);
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_COMMON_TABLE_HH

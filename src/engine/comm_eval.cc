@@ -1,0 +1,45 @@
+#include "engine/comm_eval.hh"
+
+#include "common/logging.hh"
+#include "engine/token_router.hh"
+#include "network/collectives.hh"
+
+namespace moentwine {
+
+CommEvalResult
+evaluateCommunication(const Mapping &mapping, const MoEModelConfig &model,
+                      int tokensPerGroup, bool retainAllGather,
+                      const ExpertPlacement *placement)
+{
+    MOE_ASSERT(tokensPerGroup > 0, "tokensPerGroup must be positive");
+
+    // Attention all-reduce: the group's activation tensor.
+    const double arBytes = tokensPerGroup * model.tokenBytes();
+    CollectiveTiming ar = mapping.allReduce(arBytes, retainAllGather);
+
+    // Balanced gating: expected token count per (group, expert).
+    ExpertPlacement fallback(model.expertsTotal, mapping.numDevices(), 0);
+    const ExpertPlacement &place = placement ? *placement : fallback;
+    const double perExpert = static_cast<double>(tokensPerGroup) *
+        model.expertsActivated / model.expertsTotal;
+    std::vector<std::vector<int>> counts(
+        static_cast<std::size_t>(mapping.dp()),
+        std::vector<int>(static_cast<std::size_t>(model.expertsTotal),
+                         std::max(1, static_cast<int>(perExpert + 0.5))));
+    // Scale token bytes so that integer counts preserve exact volume.
+    const double scale = perExpert /
+        std::max(1, static_cast<int>(perExpert + 0.5));
+    const RoutedTraffic routed = routeTokens(
+        mapping, place, counts, model.tokenBytes() * scale,
+        retainAllGather, model.expertsActivated);
+
+    CollectiveTiming disp = allToAll(mapping.topology(), routed.dispatch);
+    CollectiveTiming comb = allToAll(mapping.topology(), routed.combine);
+
+    CommEvalResult result{ar.time, disp.time, comb.time,
+                          std::move(ar.traffic), std::move(disp.traffic)};
+    result.a2aTraffic.merge(comb.traffic);
+    return result;
+}
+
+} // namespace moentwine

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Communication-only evaluation used by the mapping studies
+ * (Figs. 6, 13, 14): given a mapping and a model, compute the attention
+ * all-reduce time and the MoE dispatch/combine all-to-all times under
+ * load-balanced gating (every expert equally likely), exactly as
+ * Section VI-B isolates mapping effects from load imbalance.
+ */
+
+#ifndef MOENTWINE_ENGINE_COMM_EVAL_HH
+#define MOENTWINE_ENGINE_COMM_EVAL_HH
+
+#include "balancer/placement.hh"
+#include "mapping/mapping.hh"
+#include "model/moe_config.hh"
+#include "network/traffic.hh"
+
+namespace moentwine {
+
+/** Communication latencies of one sparse layer. */
+struct CommEvalResult
+{
+    /** Attention all-reduce completion time (s). */
+    double allReduce;
+    /** MoE dispatch all-to-all time (s). */
+    double dispatch;
+    /** MoE combine all-to-all time (s). */
+    double combine;
+    /** Aggregated all-reduce traffic (heatmaps, NI budgets). */
+    PhaseTraffic arTraffic;
+    /** Aggregated dispatch+combine traffic. */
+    PhaseTraffic a2aTraffic;
+
+    /** Total MoE all-to-all time. */
+    double allToAll() const { return dispatch + combine; }
+
+    /** Total communication time of the layer. */
+    double total() const { return allReduce + allToAll(); }
+};
+
+/**
+ * Evaluate one layer's communication under balanced gating.
+ *
+ * @param mapping         Parallelism mapping.
+ * @param model           MoE model.
+ * @param tokensPerGroup  Tokens per TP group.
+ * @param retainAllGather Retain the all-gather half of all-reduce.
+ * @param placement       Expert placement; round-robin without shadow
+ *                        slots when null.
+ */
+CommEvalResult evaluateCommunication(const Mapping &mapping,
+                                     const MoEModelConfig &model,
+                                     int tokensPerGroup,
+                                     bool retainAllGather,
+                                     const ExpertPlacement *placement =
+                                         nullptr);
+
+} // namespace moentwine
+
+#endif // MOENTWINE_ENGINE_COMM_EVAL_HH

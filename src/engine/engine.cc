@@ -1,0 +1,297 @@
+#include "engine/engine.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "engine/token_router.hh"
+#include "network/collectives.hh"
+#include "topology/mesh.hh"
+
+namespace moentwine {
+
+namespace {
+
+/** PipeMoE-style micro-batch overlap of a compute and a comm stream. */
+double
+overlap(double comp, double comm, int stages)
+{
+    MOE_ASSERT(stages >= 1, "pipeline stages must be >= 1");
+    return std::max(comp, comm) + std::min(comp, comm) / stages;
+}
+
+/**
+ * Order a device set as a short-step ring. On meshes a serpentine sweep
+ * (row-major with alternate rows reversed) keeps consecutive members
+ * adjacent; other topologies keep the stored order.
+ */
+std::vector<DeviceId>
+serpentineRing(const Topology &topo, std::vector<DeviceId> devices)
+{
+    const auto *mesh = dynamic_cast<const MeshTopology *>(&topo);
+    if (!mesh)
+        return devices;
+    std::sort(devices.begin(), devices.end(), [&](DeviceId a, DeviceId b) {
+        const Coord ca = mesh->coordOf(a);
+        const Coord cb = mesh->coordOf(b);
+        if (ca.row != cb.row)
+            return ca.row < cb.row;
+        const bool reversed = ca.row % 2 == 1;
+        return reversed ? ca.col > cb.col : ca.col < cb.col;
+    });
+    return devices;
+}
+
+} // namespace
+
+double
+IterationStats::attnPhase(int stages) const
+{
+    return overlap(attnCompute, allReduce, stages);
+}
+
+double
+IterationStats::moePhase(int stages) const
+{
+    return overlap(moeTime, allToAll() + epAllReduce, stages);
+}
+
+InferenceEngine::InferenceEngine(const Mapping &mapping,
+                                 const EngineConfig &cfg)
+    : mapping_(mapping),
+      cfg_(cfg),
+      cost_(cfg.device, cfg.gemmEfficiency),
+      workload_([&] {
+          WorkloadConfig w = cfg.workload;
+          w.numExperts = cfg.model.expertsTotal;
+          w.topK = cfg.model.expertsActivated;
+          return w;
+      }()),
+      placement_(cfg.model.expertsTotal, mapping.numDevices(),
+                 cfg.shadowSlots),
+      emaLoads_(static_cast<std::size_t>(cfg.model.expertsTotal), 0.0),
+      trigger_(cfg.alpha,
+               cfg.balancer == BalancerKind::NonInvasive ? 0 : cfg.beta)
+{
+    switch (cfg.balancer) {
+      case BalancerKind::None:
+        break;
+      case BalancerKind::Greedy:
+        invasive_ = std::make_unique<GreedyBalancer>();
+        break;
+      case BalancerKind::TopologyAware:
+        invasive_ =
+            std::make_unique<TopologyAwareBalancer>(mapping.topology());
+        break;
+      case BalancerKind::NonInvasive:
+        nonInvasive_ =
+            std::make_unique<NiBalancer>(mapping, cfg.model.expertBytes);
+        break;
+    }
+}
+
+int
+InferenceEngine::tokensPerGroup() const
+{
+    switch (cfg_.schedule) {
+      case SchedulingMode::PrefillOnly:
+        return cfg_.prefillTokensPerGroup;
+      case SchedulingMode::DecodeOnly:
+        return cfg_.decodeTokensPerGroup;
+      case SchedulingMode::Hybrid:
+        return cfg_.decodeTokensPerGroup +
+               cfg_.prefillTokensPerGroup / 4;
+    }
+    panic("unknown scheduling mode");
+}
+
+double
+InferenceEngine::attentionCompute() const
+{
+    switch (cfg_.schedule) {
+      case SchedulingMode::PrefillOnly:
+        return cost_.attentionTime(cfg_.model,
+                                   cfg_.prefillTokensPerGroup,
+                                   mapping_.tp(), cfg_.contextLen,
+                                   Stage::Prefill);
+      case SchedulingMode::DecodeOnly:
+        return cost_.attentionTime(cfg_.model,
+                                   cfg_.decodeTokensPerGroup,
+                                   mapping_.tp(), cfg_.contextLen,
+                                   Stage::Decode);
+      case SchedulingMode::Hybrid:
+        return cost_.attentionTime(cfg_.model,
+                                   cfg_.decodeTokensPerGroup,
+                                   mapping_.tp(), cfg_.contextLen,
+                                   Stage::Decode) +
+               cost_.attentionTime(cfg_.model,
+                                   cfg_.prefillTokensPerGroup / 4,
+                                   mapping_.tp(), cfg_.contextLen,
+                                   Stage::Prefill);
+    }
+    panic("unknown scheduling mode");
+}
+
+IterationStats
+InferenceEngine::step()
+{
+    IterationStats stats;
+    const int tokens = tokensPerGroup();
+    const double tokenBytes = cfg_.model.tokenBytes();
+
+    // --- Attention phase -------------------------------------------------
+    stats.attnCompute = attentionCompute();
+    CollectiveTiming ar =
+        mapping_.allReduce(tokens * tokenBytes, cfg_.retainAllGather);
+    stats.allReduce = ar.time;
+
+    // --- Gating -----------------------------------------------------------
+    const auto counts =
+        workload_.sampleCounts(iteration_, 0, tokens, mapping_.dp());
+    const auto expertLoads = WorkloadGenerator::expertLoads(
+        counts, cfg_.model.expertsTotal);
+
+    // --- MoE phase ---------------------------------------------------------
+    PhaseTraffic a2aTraffic(mapping_.topology());
+    std::vector<double> deviceTokens;
+    if (cfg_.esp) {
+        // Expert-sharding: tokens stay in their FTD; experts are sliced
+        // across the FTD's devices; partial sums are all-reduced inside
+        // each domain.
+        const double numFtds =
+            static_cast<double>(mapping_.ftds().size());
+        const double ftdSize =
+            static_cast<double>(mapping_.ftds().front().size());
+        const double perFtdTokens =
+            static_cast<double>(mapping_.dp()) * tokens / numFtds;
+        std::vector<std::vector<DeviceId>> rings;
+        rings.reserve(mapping_.ftds().size());
+        for (const auto &ftd : mapping_.ftds())
+            rings.push_back(serpentineRing(mapping_.topology(), ftd));
+        CollectiveTiming epAr =
+            ringCollective(mapping_.topology(), rings,
+                           perFtdTokens * tokenBytes, RingOp::AllReduce,
+                           mapping_.staggeredRings());
+        stats.epAllReduce = epAr.time;
+        a2aTraffic.merge(epAr.traffic);
+
+        const double perDeviceTokens =
+            perFtdTokens * cfg_.model.expertsActivated / ftdSize;
+        const double perDeviceExperts =
+            cfg_.model.expertsTotal / numFtds / ftdSize;
+        const MoeDeviceCost c = cost_.moeDevice(
+            cfg_.model, perDeviceTokens, perDeviceExperts);
+        stats.moeTime = c.total();
+        stats.moeComputeOnly = c.computeTime;
+        stats.moeMemoryOnly = c.memoryTime;
+        deviceTokens.assign(
+            static_cast<std::size_t>(mapping_.numDevices()),
+            perDeviceTokens);
+    } else {
+        const RoutedTraffic routed =
+            routeTokens(mapping_, placement_, counts, tokenBytes,
+                        cfg_.retainAllGather,
+                        cfg_.model.expertsActivated);
+        CollectiveTiming disp =
+            allToAll(mapping_.topology(), routed.dispatch);
+        CollectiveTiming comb =
+            allToAll(mapping_.topology(), routed.combine);
+        stats.dispatch = disp.time;
+        stats.combine = comb.time;
+        a2aTraffic.merge(disp.traffic);
+        a2aTraffic.merge(comb.traffic);
+
+        for (DeviceId d = 0; d < mapping_.numDevices(); ++d) {
+            const MoeDeviceCost c = cost_.moeDevice(
+                cfg_.model,
+                routed.tokensPerDevice[static_cast<std::size_t>(d)],
+                routed.activeExpertsPerDevice[
+                    static_cast<std::size_t>(d)]);
+            if (c.total() > stats.moeTime) {
+                stats.moeTime = c.total();
+                stats.moeComputeOnly = c.computeTime;
+                stats.moeMemoryOnly = c.memoryTime;
+            }
+        }
+        deviceTokens = routed.tokensPerDevice;
+    }
+
+    // --- Load statistics ---------------------------------------------------
+    double sum = 0.0;
+    for (const double t : deviceTokens) {
+        stats.loadMax = std::max(stats.loadMax, t);
+        sum += t;
+    }
+    stats.loadAvg = sum / static_cast<double>(deviceTokens.size());
+    stats.imbalance = stats.loadAvg > 0.0
+        ? (stats.loadMax - stats.loadAvg) / stats.loadAvg
+        : 0.0;
+
+    // --- Expert-load prediction (EMA) ---------------------------------------
+    for (std::size_t e = 0; e < emaLoads_.size(); ++e) {
+        emaLoads_[e] = cfg_.emaAlpha * expertLoads[e] +
+            (1.0 - cfg_.emaAlpha) * emaLoads_[e];
+    }
+
+    // --- Balancing ----------------------------------------------------------
+    if (cfg_.balancer != BalancerKind::None &&
+        trigger_.poll(stats.imbalance)) {
+        if (invasive_) {
+            const auto steps =
+                invasive_->rebalance(emaLoads_, placement_);
+            stats.migrationsPlanned = static_cast<int>(steps.size());
+            // Invasive migration interrupts inference: transfers run
+            // concurrently, each paying the Eq.(1) store-and-forward
+            // cost of its route; shared links add serialisation.
+            PhaseTraffic mig(mapping_.topology());
+            double slowest = 0.0;
+            for (const MigrationStep &s : steps) {
+                mig.addFlow(s.srcDevice, s.dstDevice,
+                            cfg_.model.expertBytes);
+                slowest = std::max(
+                    slowest, flowTime(mapping_.topology(), s.srcDevice,
+                                      s.dstDevice,
+                                      cfg_.model.expertBytes));
+            }
+            stats.migrationOverhead = cfg_.migrationViaDisk
+                ? 0.0
+                : std::max(slowest, mig.phaseTime());
+        } else if (nonInvasive_) {
+            stats.migrationsPlanned =
+                nonInvasive_->plan(emaLoads_, placement_);
+        }
+    }
+
+    // --- Hidden migration stream (NI) ---------------------------------------
+    if (nonInvasive_) {
+        // One simulated iteration stands for sparseLayers real layers,
+        // each opening one attention and one MoE idle window.
+        const double layers = cfg_.model.sparseLayers;
+        const double attnWindow =
+            stats.attnPhase(cfg_.pipelineStages) * layers;
+        const double moeWindow =
+            stats.moePhase(cfg_.pipelineStages) * layers;
+        stats.migrationsCompleted =
+            nonInvasive_->advanceAttention(ar.traffic, attnWindow,
+                                           placement_) +
+            nonInvasive_->advanceMoe(a2aTraffic, moeWindow, placement_);
+        stats.migrationsPending =
+            static_cast<int>(nonInvasive_->pendingCount());
+    }
+
+    ++iteration_;
+    return stats;
+}
+
+std::vector<IterationStats>
+InferenceEngine::run(int iterations)
+{
+    MOE_ASSERT(iterations > 0, "run requires at least one iteration");
+    std::vector<IterationStats> out;
+    out.reserve(static_cast<std::size_t>(iterations));
+    for (int i = 0; i < iterations; ++i)
+        out.push_back(step());
+    return out;
+}
+
+} // namespace moentwine

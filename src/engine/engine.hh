@@ -1,0 +1,196 @@
+/**
+ * @file
+ * The MoEntwine inference engine: a per-iteration timeline model of MoE
+ * serving on a mapped platform.
+ *
+ * Each iteration simulates one representative sparse layer (attention +
+ * all-reduce, gating, dispatch, expert execution, combine). Following
+ * PipeMoE, inputs are micro-batched so each phase's computation and
+ * communication overlap: phase time = max(comp, comm) + min/stages.
+ * Migration runs on a third stream:
+ *  - invasive balancers (Greedy, Topology-aware) stop iteration and pay
+ *    the Eq.(1) transfer cost of their migration flows on the critical
+ *    path;
+ *  - the Non-invasive balancer drains its pending transfers through the
+ *    idle-link budgets of both phases, scaled by the number of sparse
+ *    layers a real iteration provides (every layer opens one attention
+ *    and one MoE window).
+ *
+ * Expert loads are tracked with an EMA; the Eq.(2) trigger decides when
+ * to re-plan placement.
+ */
+
+#ifndef MOENTWINE_ENGINE_ENGINE_HH
+#define MOENTWINE_ENGINE_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "balancer/balancer.hh"
+#include "balancer/ni_balancer.hh"
+#include "balancer/placement.hh"
+#include "mapping/mapping.hh"
+#include "model/cost_model.hh"
+#include "model/moe_config.hh"
+#include "workload/workload.hh"
+
+namespace moentwine {
+
+/** Which balancing strategy the engine runs. */
+enum class BalancerKind
+{
+    None,          ///< static native placement
+    Greedy,        ///< EPLB-style invasive balancing
+    TopologyAware, ///< Algorithm 1, invasive
+    NonInvasive,   ///< NI-Balancer (hidden migration)
+};
+
+/** Iteration composition (Section VI-C evaluates all three). */
+enum class SchedulingMode
+{
+    PrefillOnly, ///< long-input prefill iterations
+    DecodeOnly,  ///< single-token decode steps
+    Hybrid,      ///< decode batch plus a prefill chunk per iteration
+};
+
+/** Engine configuration. */
+struct EngineConfig
+{
+    /** Model under test. */
+    MoEModelConfig model;
+    /** Device specification. */
+    DeviceSpec device{};
+    /** Achievable fraction of peak GEMM throughput. */
+    double gemmEfficiency = 0.6;
+    /** Iteration composition. */
+    SchedulingMode schedule = SchedulingMode::DecodeOnly;
+    /** Decode tokens per TP group per iteration. */
+    int decodeTokensPerGroup = 256;
+    /** Prefill tokens per TP group per iteration. */
+    int prefillTokensPerGroup = 2048;
+    /** Average context length (KV entries). */
+    double contextLen = 4096.0;
+    /** Retain the all-gather half of the attention all-reduce. */
+    bool retainAllGather = true;
+    /** Micro-batch pipeline stages (PipeMoE-style overlap). */
+    int pipelineStages = 4;
+    /** Expert-sharding parallelism instead of pure EP (Fig. 14(a)). */
+    bool esp = false;
+    /** Shadow slots per device. */
+    int shadowSlots = 1;
+    /** Balancing strategy. */
+    BalancerKind balancer = BalancerKind::None;
+    /**
+     * Hide invasive migration behind dedicated NVMe channels (GPU
+     * platforms have local disks; WSCs do not — Section III-C). Only
+     * meaningful with an invasive balancer.
+     */
+    bool migrationViaDisk = false;
+    /** Eq.(2) cumulative imbalance threshold. */
+    double alpha = 1.0;
+    /** Eq.(2) minimum iterations between invasive migrations. */
+    int beta = 10;
+    /** EMA factor for expert-load prediction. */
+    double emaAlpha = 0.3;
+    /** Gating / workload regime (expert count and top-k are taken from
+     *  the model, not from this sub-config). */
+    WorkloadConfig workload{};
+};
+
+/** Timeline breakdown of one simulated iteration (one sparse layer). */
+struct IterationStats
+{
+    /** Per-device attention computation time. */
+    double attnCompute = 0.0;
+    /** Attention all-reduce time. */
+    double allReduce = 0.0;
+    /** MoE dispatch all-to-all time. */
+    double dispatch = 0.0;
+    /** MoE combine all-to-all time. */
+    double combine = 0.0;
+    /** Worst per-device expert execution time (compute + streaming). */
+    double moeTime = 0.0;
+    /** Compute component of the worst device. */
+    double moeComputeOnly = 0.0;
+    /** Weight-streaming component of the worst device. */
+    double moeMemoryOnly = 0.0;
+    /** ESP-mode all-reduce of expert partial sums (Fig. 14(a)). */
+    double epAllReduce = 0.0;
+    /** Invasive migration time exposed on the critical path. */
+    double migrationOverhead = 0.0;
+    /** Max routed tokens over devices. */
+    double loadMax = 0.0;
+    /** Mean routed tokens over devices. */
+    double loadAvg = 0.0;
+    /** Device imbalance degree (max-mean)/mean. */
+    double imbalance = 0.0;
+    /** Migrations planned this iteration. */
+    int migrationsPlanned = 0;
+    /** Hidden migrations completed this iteration (NI only). */
+    int migrationsCompleted = 0;
+    /** Hidden migrations still pending (NI only). */
+    int migrationsPending = 0;
+
+    /** MoE all-to-all total. */
+    double allToAll() const { return dispatch + combine; }
+
+    /** Attention phase with compute/communication overlap. */
+    double attnPhase(int stages) const;
+
+    /** MoE phase with compute/communication overlap. */
+    double moePhase(int stages) const;
+
+    /** Iteration latency of the representative layer. */
+    double layerTime(int stages) const
+    {
+        return attnPhase(stages) + moePhase(stages) + migrationOverhead;
+    }
+};
+
+/**
+ * Multi-iteration MoE serving simulator.
+ */
+class InferenceEngine
+{
+  public:
+    /**
+     * @param mapping Mapping (and topology) to simulate on; must
+     *                outlive the engine.
+     * @param cfg     Engine configuration.
+     */
+    InferenceEngine(const Mapping &mapping, const EngineConfig &cfg);
+
+    /** Simulate one iteration and advance balancing state. */
+    IterationStats step();
+
+    /** Simulate @p iterations and return all per-iteration stats. */
+    std::vector<IterationStats> run(int iterations);
+
+    /** Current expert placement. */
+    const ExpertPlacement &placement() const { return placement_; }
+
+    /** The configuration in use. */
+    const EngineConfig &config() const { return cfg_; }
+
+    /** Tokens per group for the configured scheduling mode. */
+    int tokensPerGroup() const;
+
+  private:
+    /** Attention compute time for the configured schedule. */
+    double attentionCompute() const;
+
+    const Mapping &mapping_;
+    EngineConfig cfg_;
+    CostModel cost_;
+    WorkloadGenerator workload_;
+    ExpertPlacement placement_;
+    std::vector<double> emaLoads_;
+    RebalanceTrigger trigger_;
+    std::unique_ptr<Balancer> invasive_;
+    std::unique_ptr<NiBalancer> nonInvasive_;
+    int iteration_ = 0;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_ENGINE_ENGINE_HH

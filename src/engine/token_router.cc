@@ -1,0 +1,70 @@
+#include "engine/token_router.hh"
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+RoutedTraffic
+routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
+            const std::vector<std::vector<int>> &counts, double tokenBytes,
+            bool retainAllGather, int topk)
+{
+    const int devices = mapping.numDevices();
+    const int tp = mapping.tp();
+    MOE_ASSERT(counts.size() == static_cast<std::size_t>(mapping.dp()),
+               "counts must have one row per DP group");
+    MOE_ASSERT(placement.numDevices() == devices,
+               "placement/mapping device count mismatch");
+
+    RoutedTraffic out;
+    out.tokensPerDevice.assign(static_cast<std::size_t>(devices), 0.0);
+    out.activeExpertsPerDevice.assign(static_cast<std::size_t>(devices),
+                                      0);
+
+    for (int g = 0; g < mapping.dp(); ++g) {
+        const auto &row = counts[static_cast<std::size_t>(g)];
+        MOE_ASSERT(row.size() ==
+                       static_cast<std::size_t>(placement.numExperts()),
+                   "counts row width must equal expert count");
+        for (int e = 0; e < placement.numExperts(); ++e) {
+            const int count = row[static_cast<std::size_t>(e)];
+            if (count == 0)
+                continue;
+            const auto &replicas = placement.replicasOf(e);
+            const double perReplica =
+                static_cast<double>(count) /
+                static_cast<double>(replicas.size());
+            const double perShard = perReplica / tp;
+            for (const DeviceId dev : replicas) {
+                out.tokensPerDevice[static_cast<std::size_t>(dev)] +=
+                    perReplica;
+                for (int r = 0; r < tp; ++r) {
+                    const DeviceId src = mapping.dispatchSource(
+                        g, r, dev, retainAllGather);
+                    const double bytes = perShard * tokenBytes *
+                        mapping.dispatchDedupFactor(src, dev, topk);
+                    if (src != dev && bytes > 0.0) {
+                        out.dispatch.push_back(Flow{src, dev, bytes});
+                        out.combine.push_back(Flow{dev, src, bytes});
+                    }
+                }
+            }
+        }
+    }
+
+    // Active experts per device (for weight-streaming time).
+    for (DeviceId d = 0; d < devices; ++d) {
+        int active = 0;
+        for (const int e : placement.expertsOn(d)) {
+            double load = 0.0;
+            for (const auto &row : counts)
+                load += row[static_cast<std::size_t>(e)];
+            if (load > 0.0)
+                ++active;
+        }
+        out.activeExpertsPerDevice[static_cast<std::size_t>(d)] = active;
+    }
+    return out;
+}
+
+} // namespace moentwine

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Token routing: translates a gating outcome (per-group expert counts)
+ * into the dispatch/combine flow sets of the MoE all-to-all, plus the
+ * per-device routed-token loads that drive expert computation time.
+ *
+ * Tokens of a DP group are spread uniformly over the group's TP shard
+ * ranks; tokens selecting an expert are split evenly across its
+ * replicas (the shadow-expert sharing rule of Fig. 7(a)). Each
+ * (group, rank, replica) triple contributes one dispatch flow from the
+ * mapping's dispatch source to the replica device, and one combine flow
+ * back. Dispatch carries the FP16 hidden activation of every routed
+ * token; combine carries the expert output of the same width.
+ */
+
+#ifndef MOENTWINE_ENGINE_TOKEN_ROUTER_HH
+#define MOENTWINE_ENGINE_TOKEN_ROUTER_HH
+
+#include <vector>
+
+#include "balancer/placement.hh"
+#include "mapping/mapping.hh"
+#include "network/traffic.hh"
+
+namespace moentwine {
+
+/** Flows and device loads produced by routing one layer's tokens. */
+struct RoutedTraffic
+{
+    /** Dispatch flows (token activations toward expert devices). */
+    std::vector<Flow> dispatch;
+    /** Combine flows (expert outputs back to the token owners). */
+    std::vector<Flow> combine;
+    /** Routed tokens (with expert multiplicity) per device. */
+    std::vector<double> tokensPerDevice;
+    /** Hosted experts receiving at least one token, per device. */
+    std::vector<int> activeExpertsPerDevice;
+};
+
+/**
+ * Route one layer's gated tokens.
+ *
+ * @param mapping    Parallelism mapping (dispatch-source rule, TP/DP).
+ * @param placement  Current expert placement.
+ * @param counts     counts[group][expert] token assignments.
+ * @param tokenBytes Bytes of one token's activation (FP16 hidden).
+ * @param retainAllGather Whether attention retained the all-gather
+ *        (nearest-source dispatch) or not (owner-only dispatch).
+ * @param topk       Experts activated per token (hierarchical-A2A
+ *        dedup on switch clusters; ignored by mesh mappings).
+ */
+RoutedTraffic routeTokens(const Mapping &mapping,
+                          const ExpertPlacement &placement,
+                          const std::vector<std::vector<int>> &counts,
+                          double tokenBytes, bool retainAllGather,
+                          int topk = 1);
+
+} // namespace moentwine
+
+#endif // MOENTWINE_ENGINE_TOKEN_ROUTER_HH

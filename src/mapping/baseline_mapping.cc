@@ -1,0 +1,52 @@
+#include "mapping/baseline_mapping.hh"
+
+#include "common/logging.hh"
+#include "mapping/ring_order.hh"
+
+namespace moentwine {
+
+BaselineMapping::BaselineMapping(const MeshTopology &mesh,
+                                 ParallelismConfig par)
+    : Mapping(mesh), mesh_(mesh), par_(par)
+{
+    const int rows = mesh.rows();
+    const int cols = mesh.cols();
+    if (rows % par.tpX != 0 || cols % par.tpY != 0) {
+        fatal("baseline mapping: TP shape " + par.label() +
+              " does not divide the " + std::to_string(rows) + "x" +
+              std::to_string(cols) + " mesh");
+    }
+    const int blocksX = rows / par.tpX; // blocks along rows
+    const int blocksY = cols / par.tpY; // blocks along cols
+
+    // TP groups: one per contiguous block, members in ring order.
+    const auto cycle = gridCycle(par.tpX, par.tpY);
+    for (int bx = 0; bx < blocksX; ++bx) {
+        for (int by = 0; by < blocksY; ++by) {
+            std::vector<DeviceId> group;
+            group.reserve(cycle.size());
+            for (const auto &[i, j] : cycle) {
+                group.push_back(mesh.deviceAt(bx * par.tpX + i,
+                                              by * par.tpY + j));
+            }
+            tpGroups_.push_back(std::move(group));
+        }
+    }
+
+    // FTDs: the devices at the same within-block offset in every block.
+    for (int i = 0; i < par.tpX; ++i) {
+        for (int j = 0; j < par.tpY; ++j) {
+            std::vector<DeviceId> ftd;
+            ftd.reserve(static_cast<std::size_t>(blocksX * blocksY));
+            for (int bx = 0; bx < blocksX; ++bx)
+                for (int by = 0; by < blocksY; ++by)
+                    ftd.push_back(mesh.deviceAt(bx * par.tpX + i,
+                                                by * par.tpY + j));
+            ftds_.push_back(std::move(ftd));
+        }
+    }
+
+    finalize();
+}
+
+} // namespace moentwine

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Baseline mapping: TP groups are contiguous tpX×tpY blocks tiled over
+ * the mesh (Fig. 8(b) of the paper).
+ *
+ * Each FTD pairs the devices at the same within-block offset across all
+ * blocks; the resulting domains span nearly the whole mesh and all
+ * intersect in the centre, which is exactly the congestion pathology
+ * ER-Mapping removes.
+ */
+
+#ifndef MOENTWINE_MAPPING_BASELINE_MAPPING_HH
+#define MOENTWINE_MAPPING_BASELINE_MAPPING_HH
+
+#include <string>
+
+#include "mapping/mapping.hh"
+#include "mapping/parallelism.hh"
+#include "topology/mesh.hh"
+
+namespace moentwine {
+
+/**
+ * Contiguous-block TP placement on a mesh.
+ */
+class BaselineMapping : public Mapping
+{
+  public:
+    /**
+     * @param mesh Mesh to map onto (rows divisible by tpX, cols by tpY).
+     * @param par  TP shape.
+     */
+    BaselineMapping(const MeshTopology &mesh, ParallelismConfig par);
+
+    std::string name() const override { return "Baseline"; }
+
+    /** Baseline rings are quadrant-local and need no staggering. */
+    bool staggeredRings() const override { return false; }
+
+    /** The TP shape used. */
+    const ParallelismConfig &parallelism() const { return par_; }
+
+    /** The mesh this mapping is placed on. */
+    const MeshTopology &mesh() const { return mesh_; }
+
+  private:
+    const MeshTopology &mesh_;
+    ParallelismConfig par_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MAPPING_BASELINE_MAPPING_HH

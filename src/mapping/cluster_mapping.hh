@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Parallelism mapping for switch-based GPU clusters (DGX, NVL72).
+ *
+ * TP groups are consecutive device blocks, kept inside a node whenever
+ * TP does not exceed the node size — the standard deployment on GPU
+ * systems, where NVLink carries the all-reduce. FTD structure is not
+ * meaningful on a switched fabric (every device is one switch domain
+ * away from every other), so the whole cluster is reported as a single
+ * FTD.
+ */
+
+#ifndef MOENTWINE_MAPPING_CLUSTER_MAPPING_HH
+#define MOENTWINE_MAPPING_CLUSTER_MAPPING_HH
+
+#include <string>
+
+#include "mapping/mapping.hh"
+#include "topology/switch_cluster.hh"
+
+namespace moentwine {
+
+/**
+ * Block TP placement on a switch cluster.
+ */
+class ClusterMapping : public Mapping
+{
+  public:
+    /**
+     * @param cluster Cluster to map onto.
+     * @param tp      Tensor-parallel degree (divides the device count).
+     */
+    ClusterMapping(const SwitchClusterTopology &cluster, int tp);
+
+    std::string name() const override { return "Cluster"; }
+
+    bool staggeredRings() const override { return false; }
+
+    double dispatchDedupFactor(DeviceId src, DeviceId dst,
+                               int topk) const override;
+
+    /** The cluster this mapping is placed on. */
+    const SwitchClusterTopology &cluster() const { return cluster_; }
+
+  private:
+    const SwitchClusterTopology &cluster_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MAPPING_CLUSTER_MAPPING_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Entwined Ring Mapping (ER-Mapping, Fig. 10(a) of the paper).
+ *
+ * TP groups are *strided* over the mesh: group (i, j) contains the
+ * devices at coordinates {(i + s·a, j + t·b)} with a = rows/tpX and
+ * b = cols/tpY. Every contiguous a×b block then holds exactly one
+ * member of every TP group and forms a compact, non-overlapping FTD —
+ * all-to-all traffic stays inside these blocks, eliminating the central
+ * congestion of the baseline mapping. The price is that all-reduce
+ * rings become "entwined": consecutive ring members sit a (or b) mesh
+ * hops apart, and intersecting rings are time-staggered (Fig. 8(d)).
+ */
+
+#ifndef MOENTWINE_MAPPING_ER_MAPPING_HH
+#define MOENTWINE_MAPPING_ER_MAPPING_HH
+
+#include <string>
+
+#include "mapping/mapping.hh"
+#include "mapping/parallelism.hh"
+#include "topology/mesh.hh"
+
+namespace moentwine {
+
+/**
+ * Strided (entwined) TP placement on a mesh.
+ */
+class ErMapping : public Mapping
+{
+  public:
+    /**
+     * @param mesh Mesh to map onto (rows divisible by tpX, cols by tpY).
+     * @param par  TP shape.
+     */
+    ErMapping(const MeshTopology &mesh, ParallelismConfig par);
+
+    std::string name() const override { return "ER-Mapping"; }
+
+    /** Entwined rings rely on the time-staggered schedule. */
+    bool staggeredRings() const override { return true; }
+
+    /** Each FTD block holds one member of every group: serve locally. */
+    bool confineDispatchToFtd() const override { return true; }
+
+    /** Row stride between TP-group members (a = rows / tpX). */
+    int strideRows() const { return strideRows_; }
+
+    /** Column stride between TP-group members (b = cols / tpY). */
+    int strideCols() const { return strideCols_; }
+
+    /** The TP shape used. */
+    const ParallelismConfig &parallelism() const { return par_; }
+
+    /** The mesh this mapping is placed on. */
+    const MeshTopology &mesh() const { return mesh_; }
+
+  private:
+    const MeshTopology &mesh_;
+    ParallelismConfig par_;
+    int strideRows_;
+    int strideCols_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MAPPING_ER_MAPPING_HH

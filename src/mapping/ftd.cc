@@ -1,0 +1,59 @@
+#include "mapping/ftd.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+BoundingBox
+ftdBoundingBox(const MeshTopology &mesh, const std::vector<DeviceId> &ftd)
+{
+    MOE_ASSERT(!ftd.empty(), "bounding box of empty FTD");
+    BoundingBox box{1 << 30, 1 << 30, -1, -1};
+    for (const DeviceId d : ftd) {
+        const Coord c = mesh.coordOf(d);
+        box.rowLo = std::min(box.rowLo, c.row);
+        box.colLo = std::min(box.colLo, c.col);
+        box.rowHi = std::max(box.rowHi, c.row);
+        box.colHi = std::max(box.colHi, c.col);
+    }
+    return box;
+}
+
+double
+ftdAverageHops(const MeshTopology &mesh, const std::vector<DeviceId> &ftd)
+{
+    MOE_ASSERT(!ftd.empty(), "average hops of empty FTD");
+    if (ftd.size() == 1)
+        return 0.0;
+    double total = 0.0;
+    int pairs = 0;
+    for (const DeviceId a : ftd) {
+        for (const DeviceId b : ftd) {
+            if (a == b)
+                continue;
+            total += mesh.manhattan(a, b);
+            ++pairs;
+        }
+    }
+    return total / pairs;
+}
+
+int
+countFtdIntersections(const MeshTopology &mesh,
+                      const std::vector<std::vector<DeviceId>> &ftds)
+{
+    std::vector<BoundingBox> boxes;
+    boxes.reserve(ftds.size());
+    for (const auto &ftd : ftds)
+        boxes.push_back(ftdBoundingBox(mesh, ftd));
+    int count = 0;
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+        for (std::size_t j = i + 1; j < boxes.size(); ++j)
+            if (boxes[i].overlaps(boxes[j]))
+                ++count;
+    return count;
+}
+
+} // namespace moentwine

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Geometric analysis of Full Token Domains (Section IV-A): average
+ * intra-domain hop count, bounding-box area, and intersection counting.
+ * These are the three quantities the paper uses to explain why compact,
+ * disjoint FTDs minimise all-to-all cost.
+ */
+
+#ifndef MOENTWINE_MAPPING_FTD_HH
+#define MOENTWINE_MAPPING_FTD_HH
+
+#include <vector>
+
+#include "topology/mesh.hh"
+
+namespace moentwine {
+
+/** Inclusive bounding box of a device set on the mesh. */
+struct BoundingBox
+{
+    int rowLo;
+    int colLo;
+    int rowHi;
+    int colHi;
+
+    /** Covered area in devices. */
+    int area() const { return (rowHi - rowLo + 1) * (colHi - colLo + 1); }
+
+    /** True when the two boxes share at least one mesh cell. */
+    bool overlaps(const BoundingBox &o) const
+    {
+        return rowLo <= o.rowHi && o.rowLo <= rowHi && colLo <= o.colHi &&
+               o.colLo <= colHi;
+    }
+};
+
+/** Bounding box of a device set. */
+BoundingBox ftdBoundingBox(const MeshTopology &mesh,
+                           const std::vector<DeviceId> &ftd);
+
+/**
+ * Average hop count inside an FTD: a device fetches tokens from each of
+ * the other members with uniform probability, so the expected distance
+ * is the mean Manhattan distance over ordered pairs. (2.7 for the
+ * baseline 3×3-area FTD of the 4×4 example; 1.3 under ER-Mapping.)
+ */
+double ftdAverageHops(const MeshTopology &mesh,
+                      const std::vector<DeviceId> &ftd);
+
+/** Number of FTD pairs whose bounding boxes overlap. */
+int countFtdIntersections(const MeshTopology &mesh,
+                          const std::vector<std::vector<DeviceId>> &ftds);
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MAPPING_FTD_HH

@@ -1,0 +1,113 @@
+#include "mapping/her_mapping.hh"
+
+#include "common/logging.hh"
+#include "mapping/er_mapping.hh"
+#include "mapping/ring_order.hh"
+
+namespace moentwine {
+
+HierarchicalErMapping::HierarchicalErMapping(const MeshTopology &mesh,
+                                             ParallelismConfig par)
+    : Mapping(mesh), mesh_(mesh), par_(par)
+{
+    const int wr = mesh.waferRows();
+    const int wc = mesh.waferCols();
+    if (wr % par.tpX != 0 || wc % par.tpY != 0) {
+        fatal("HER-Mapping: TP shape " + par.label() +
+              " does not divide the " + std::to_string(wr) + "x" +
+              std::to_string(wc) + " wafer");
+    }
+    const int strideRows = wr / par.tpX;
+    const int strideCols = wc / par.tpY;
+
+    // Per-wafer ER placement: strided TP groups and block FTDs, offset
+    // into each wafer tile of the global mesh.
+    const auto cycle = gridCycle(par.tpX, par.tpY);
+    for (int w = 0; w < mesh.numWafers(); ++w) {
+        const auto devs = mesh.waferDevices(w);
+        const Coord origin = mesh.coordOf(devs.front());
+        for (int i = 0; i < strideRows; ++i) {
+            for (int j = 0; j < strideCols; ++j) {
+                std::vector<DeviceId> group;
+                group.reserve(cycle.size());
+                for (const auto &[s, t] : cycle) {
+                    group.push_back(mesh.deviceAt(
+                        origin.row + i + s * strideRows,
+                        origin.col + j + t * strideCols));
+                }
+                tpGroups_.push_back(std::move(group));
+            }
+        }
+        for (int p = 0; p < par.tpX; ++p) {
+            for (int q = 0; q < par.tpY; ++q) {
+                std::vector<DeviceId> ftd;
+                ftd.reserve(
+                    static_cast<std::size_t>(strideRows * strideCols));
+                for (int i = 0; i < strideRows; ++i)
+                    for (int j = 0; j < strideCols; ++j)
+                        ftd.push_back(mesh.deviceAt(
+                            origin.row + p * strideRows + i,
+                            origin.col + q * strideCols + j));
+                ftds_.push_back(std::move(ftd));
+            }
+        }
+    }
+
+    // Inter-wafer all-gather rings: mirrors of each within-wafer
+    // position across all wafers, in wafer order.
+    const int perWafer = mesh.devicesPerWafer();
+    for (int local = 0; local < perWafer; ++local) {
+        std::vector<DeviceId> ring;
+        ring.reserve(static_cast<std::size_t>(mesh.numWafers()));
+        for (int w = 0; w < mesh.numWafers(); ++w)
+            ring.push_back(mesh.waferDevices(w)[
+                static_cast<std::size_t>(local)]);
+        interRings_.push_back(std::move(ring));
+    }
+
+    finalize();
+}
+
+CollectiveTiming
+HierarchicalErMapping::allReduce(double bytesPerGroup,
+                                 bool withAllGather) const
+{
+    if (!withAllGather || mesh_.numWafers() == 1) {
+        // Single wafer degenerates to plain entwined-ring all-reduce.
+        return Mapping::allReduce(bytesPerGroup, withAllGather);
+    }
+    return hierarchicalAllReduce(topo_, tpGroups_, interRings_,
+                                 bytesPerGroup);
+}
+
+DeviceId
+HierarchicalErMapping::dispatchSource(int group, int rank,
+                                      DeviceId expertDevice,
+                                      bool allGatherRetained) const
+{
+    const auto &members = tpGroups_[static_cast<std::size_t>(group)];
+    const DeviceId owner = members[static_cast<std::size_t>(rank)];
+    if (!allGatherRetained) {
+        return owner;
+    }
+    // After the inter-wafer all-gather, the shard is replicated on the
+    // owner's mirror of every wafer; serve from the expert's wafer.
+    return mirrorOn(owner, mesh_.waferOf(expertDevice));
+}
+
+DeviceId
+HierarchicalErMapping::mirrorOn(DeviceId d, int wafer) const
+{
+    const int own = mesh_.waferOf(d);
+    if (own == wafer)
+        return d;
+    const auto ownDevs = mesh_.waferDevices(own);
+    const auto targetDevs = mesh_.waferDevices(wafer);
+    for (std::size_t i = 0; i < ownDevs.size(); ++i) {
+        if (ownDevs[i] == d)
+            return targetDevs[i];
+    }
+    panic("device not found on its own wafer");
+}
+
+} // namespace moentwine

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Hierarchical ER-Mapping for multi-wafer systems (Fig. 10(c)).
+ *
+ * Each wafer is ER-mapped independently, so TP groups never span a
+ * wafer boundary. The attention all-reduce splits into two stages:
+ *  1. intra-wafer reduce-scatter over the per-wafer entwined rings;
+ *  2. inter-wafer all-gather over rings of mirror devices (the devices
+ *     at the same within-wafer coordinate on every wafer).
+ * After both stages every wafer holds a distributed copy of all tokens,
+ * so the MoE all-to-all is confined within individual wafers: the
+ * dispatch source of a token for an expert on wafer w is the mirror of
+ * the token's shard owner on wafer w.
+ */
+
+#ifndef MOENTWINE_MAPPING_HER_MAPPING_HH
+#define MOENTWINE_MAPPING_HER_MAPPING_HH
+
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hh"
+#include "mapping/parallelism.hh"
+#include "topology/mesh.hh"
+
+namespace moentwine {
+
+/**
+ * Per-wafer ER placement with hierarchical all-reduce.
+ */
+class HierarchicalErMapping : public Mapping
+{
+  public:
+    /**
+     * @param mesh Multi-wafer mesh (per-wafer dims divisible by TP shape).
+     * @param par  TP shape (within one wafer).
+     */
+    HierarchicalErMapping(const MeshTopology &mesh, ParallelismConfig par);
+
+    std::string name() const override { return "HER-Mapping"; }
+
+    bool staggeredRings() const override { return true; }
+
+    CollectiveTiming allReduce(double bytesPerGroup,
+                               bool withAllGather) const override;
+
+    DeviceId dispatchSource(int group, int rank, DeviceId expertDevice,
+                            bool allGatherRetained) const override;
+
+    /** Mirror of device @p d on wafer @p wafer (same local coordinate). */
+    DeviceId mirrorOn(DeviceId d, int wafer) const;
+
+    /** The inter-wafer all-gather rings (one per within-wafer position). */
+    const std::vector<std::vector<DeviceId>> &interWaferRings() const
+    {
+        return interRings_;
+    }
+
+    /** The TP shape used. */
+    const ParallelismConfig &parallelism() const { return par_; }
+
+    /** The mesh this mapping is placed on. */
+    const MeshTopology &mesh() const { return mesh_; }
+
+  private:
+    const MeshTopology &mesh_;
+    ParallelismConfig par_;
+    std::vector<std::vector<DeviceId>> interRings_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MAPPING_HER_MAPPING_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Abstract parallelism mapping: how attention-layer TP groups and
+ * MoE-layer experts are placed on the devices of a topology.
+ *
+ * A mapping owns three structures:
+ *  - TP groups in ring order (the all-reduce rings of the attention
+ *    layer). Group g's rank r device holds the r-th token shard of its
+ *    group after a reduce-scatter;
+ *  - FTDs (Full Token Domains): the minimal device sets that together
+ *    hold tokens from every TP group. Their geometry governs all-to-all
+ *    cost (Section IV-A of the paper);
+ *  - the dispatch-source rule: which device supplies a token to an
+ *    expert device, which depends on whether the all-gather half of the
+ *    all-reduce was retained (Fig. 9).
+ *
+ * Concrete mappings: BaselineMapping (contiguous TP blocks),
+ * ErMapping (entwined strided TP groups), HierarchicalErMapping
+ * (per-wafer ER with hierarchical all-reduce), ClusterMapping (GPU
+ * baselines on switch topologies).
+ */
+
+#ifndef MOENTWINE_MAPPING_MAPPING_HH
+#define MOENTWINE_MAPPING_MAPPING_HH
+
+#include <string>
+#include <vector>
+
+#include "network/collectives.hh"
+#include "topology/topology.hh"
+
+namespace moentwine {
+
+/**
+ * Base class of all parallelism mappings.
+ */
+class Mapping
+{
+  public:
+    virtual ~Mapping() = default;
+
+    /** The topology this mapping is placed on. */
+    const Topology &topology() const { return topo_; }
+
+    /** Number of compute devices. */
+    int numDevices() const { return topo_.numDevices(); }
+
+    /** Tensor-parallel degree (size of each TP group). */
+    int tp() const { return static_cast<int>(tpGroups_.front().size()); }
+
+    /** Data-parallel degree (number of TP groups). */
+    int dp() const { return static_cast<int>(tpGroups_.size()); }
+
+    /** TP groups, each in all-reduce ring order. */
+    const std::vector<std::vector<DeviceId>> &tpGroups() const
+    {
+        return tpGroups_;
+    }
+
+    /** TP group (DP shard) index of a device. */
+    int tpGroupOf(DeviceId d) const;
+
+    /** Ring position of a device within its TP group. */
+    int tpRankOf(DeviceId d) const;
+
+    /** Full Token Domains (disjoint device sets covering all groups). */
+    const std::vector<std::vector<DeviceId>> &ftds() const { return ftds_; }
+
+    /** FTD index of a device. */
+    int ftdOf(DeviceId d) const;
+
+    /** Mapping name for bench output. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Whether concurrent all-reduce rings use the time-staggered
+     * entwined schedule (true for ER-style mappings).
+     */
+    virtual bool staggeredRings() const = 0;
+
+    /**
+     * Attention-layer all-reduce over all TP groups concurrently.
+     * @param bytesPerGroup Full activation tensor bytes of one group.
+     * @param withAllGather Retain the all-gather half (Fig. 9); when
+     *        false only the reduce-scatter runs.
+     */
+    virtual CollectiveTiming allReduce(double bytesPerGroup,
+                                       bool withAllGather) const;
+
+    /**
+     * Device that supplies tokens of (TP group, shard rank) to an
+     * expert device during dispatch (and receives the combined output).
+     *
+     * @param group    Owning TP group of the token shard.
+     * @param rank     Shard rank within the group (reduce-scatter slot).
+     * @param expertDevice Destination expert device.
+     * @param allGatherRetained With all-gather, every group member holds
+     *        the shard so the topologically nearest one serves; without
+     *        it only the rank-owner can.
+     */
+    virtual DeviceId dispatchSource(int group, int rank,
+                                    DeviceId expertDevice,
+                                    bool allGatherRetained) const;
+
+    /**
+     * Whether dispatch sources are confined to the destination's FTD.
+     * ER-style mappings return true: every FTD holds exactly one
+     * member of every TP group, and serving from it keeps all-to-all
+     * traffic strictly domain-local even when a neighbouring domain's
+     * member is physically closer (Section IV-A: "confining
+     * communication to this domain").
+     */
+    virtual bool confineDispatchToFtd() const { return false; }
+
+    /**
+     * Dispatch-source member of a TP group for a destination device:
+     * the FTD-local member when the mapping confines dispatch,
+     * otherwise the topologically nearest member (ties prefer the
+     * destination's FTD, then the lower id).
+     */
+    DeviceId nearestGroupMember(int group, DeviceId to) const;
+
+    /**
+     * Volume reduction factor for a dispatch/combine flow, modelling
+     * hierarchical all-to-all optimisations (DeepSpeed-MoE style): on
+     * switch clusters, tokens heading to several experts on the same
+     * remote node cross the inter-node fabric once, shrinking the
+     * cross-node volume by N·(1−(1−1/N)^k)/k. Mesh mappings impose no
+     * routing restriction and return 1.
+     *
+     * @param src  Flow source device.
+     * @param dst  Flow destination device.
+     * @param topk Experts activated per token.
+     */
+    virtual double dispatchDedupFactor(DeviceId src, DeviceId dst,
+                                       int topk) const;
+
+  protected:
+    explicit Mapping(const Topology &topo);
+
+    /**
+     * Build the reverse indices; must be called by every concrete
+     * constructor after populating tpGroups_ and ftds_.
+     */
+    void finalize();
+
+    const Topology &topo_;
+    std::vector<std::vector<DeviceId>> tpGroups_;
+    std::vector<std::vector<DeviceId>> ftds_;
+
+  private:
+    std::vector<int> groupOf_;
+    std::vector<int> rankOf_;
+    std::vector<int> ftdIndexOf_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MAPPING_MAPPING_HH

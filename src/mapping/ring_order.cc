@@ -1,0 +1,114 @@
+#include "mapping/ring_order.hh"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+namespace {
+
+/** Zigzag cycle over a 1×n line: 0,2,4,…, then odd indices descending. */
+std::vector<GridPos>
+lineCycle(int n)
+{
+    std::vector<GridPos> out;
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; i += 2)
+        out.emplace_back(0, i);
+    const int lastOdd = (n % 2 == 0) ? n - 1 : n - 2;
+    for (int i = lastOdd; i >= 1; i -= 2)
+        out.emplace_back(0, i);
+    return out;
+}
+
+/**
+ * Unit-step Hamiltonian cycle for m even: right along row 0, serpentine
+ * through rows 1..m-1 over columns 1..n-1, return up column 0.
+ */
+std::vector<GridPos>
+evenRowsCycle(int m, int n)
+{
+    std::vector<GridPos> out;
+    out.reserve(static_cast<std::size_t>(m * n));
+    for (int c = 0; c < n; ++c)
+        out.emplace_back(0, c);
+    for (int r = 1; r < m; ++r) {
+        if (r % 2 == 1) {
+            for (int c = n - 1; c >= 1; --c)
+                out.emplace_back(r, c);
+        } else {
+            for (int c = 1; c <= n - 1; ++c)
+                out.emplace_back(r, c);
+        }
+    }
+    for (int r = m - 1; r >= 1; --r)
+        out.emplace_back(r, 0);
+    return out;
+}
+
+/** Row-major serpentine path (used as odd×odd fallback). */
+std::vector<GridPos>
+serpentinePath(int m, int n)
+{
+    std::vector<GridPos> out;
+    out.reserve(static_cast<std::size_t>(m * n));
+    for (int r = 0; r < m; ++r) {
+        if (r % 2 == 0) {
+            for (int c = 0; c < n; ++c)
+                out.emplace_back(r, c);
+        } else {
+            for (int c = n - 1; c >= 0; --c)
+                out.emplace_back(r, c);
+        }
+    }
+    return out;
+}
+
+std::vector<GridPos>
+transpose(std::vector<GridPos> cycle)
+{
+    for (auto &p : cycle)
+        std::swap(p.first, p.second);
+    return cycle;
+}
+
+} // namespace
+
+std::vector<GridPos>
+gridCycle(int m, int n)
+{
+    MOE_ASSERT(m >= 1 && n >= 1, "gridCycle requires positive dimensions");
+    if (m == 1 && n == 1)
+        return {GridPos{0, 0}};
+    if (m == 1)
+        return lineCycle(n);
+    if (n == 1)
+        return transpose(lineCycle(m));
+    if (m % 2 == 0)
+        return evenRowsCycle(m, n);
+    if (n % 2 == 0)
+        return transpose(evenRowsCycle(n, m));
+    // Odd×odd: no unit-step Hamiltonian cycle exists; the serpentine
+    // path's closing edge is charged honestly by the caller.
+    return serpentinePath(m, n);
+}
+
+int
+maxCycleStep(const std::vector<GridPos> &cycle)
+{
+    MOE_ASSERT(!cycle.empty(), "maxCycleStep of empty cycle");
+    if (cycle.size() == 1)
+        return 0;
+    int worst = 0;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        const GridPos &a = cycle[i];
+        const GridPos &b = cycle[(i + 1) % cycle.size()];
+        worst = std::max(worst, std::abs(a.first - b.first) +
+                                    std::abs(a.second - b.second));
+    }
+    return worst;
+}
+
+} // namespace moentwine

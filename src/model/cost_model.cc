@@ -1,0 +1,67 @@
+#include "model/cost_model.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+CostModel::CostModel(const DeviceSpec &spec, double efficiency)
+    : spec_(spec), efficiency_(efficiency)
+{
+    MOE_ASSERT(efficiency > 0.0 && efficiency <= 1.0,
+               "efficiency must be in (0, 1]");
+}
+
+MoeDeviceCost
+CostModel::moeDevice(const MoEModelConfig &model, double tokensRouted,
+                     double expertsResident) const
+{
+    MOE_ASSERT(tokensRouted >= 0.0, "negative routed token count");
+    MOE_ASSERT(expertsResident >= 0.0, "negative resident expert count");
+    MoeDeviceCost cost;
+    cost.computeTime = tokensRouted * model.expertOpsPerToken() /
+        (spec_.int8Ops * efficiency_);
+    cost.memoryTime =
+        weightStreamTime(expertsResident * model.expertBytes);
+    return cost;
+}
+
+double
+CostModel::attentionTime(const MoEModelConfig &model, double tokens,
+                         int tp, double contextLen, Stage stage) const
+{
+    MOE_ASSERT(tp >= 1, "tensor-parallel degree must be >= 1");
+    MOE_ASSERT(tokens >= 0.0, "negative token count");
+    const double h = model.hiddenSize;
+
+    // QKV + output projections: 8 h^2 MACs per token, split across TP.
+    const double projFlops = 2.0 * 8.0 * h * h * tokens / tp;
+
+    // Score/context matmuls: 4 h FLOPs per (token, kv) pair, per TP shard.
+    const double scoreFlops = 4.0 * h * tokens * contextLen / tp;
+
+    const double computeTime =
+        (projFlops + scoreFlops) / (spec_.fp16Flops * efficiency_);
+
+    // Decode additionally streams the KV cache for every token in the
+    // batch: 2 (K and V) × 2 bytes × h/tp per cached position, shrunk
+    // by the model's MLA/GQA compression factor.
+    double memoryTime = 0.0;
+    if (stage == Stage::Decode) {
+        const double kvBytes = tokens * contextLen * 2.0 * 2.0 * h *
+            model.kvCompression / tp;
+        memoryTime = kvBytes / spec_.hbmBandwidth;
+    }
+    return std::max(computeTime, memoryTime) +
+        std::min(computeTime, memoryTime) * 0.1;
+}
+
+double
+CostModel::weightStreamTime(double bytes) const
+{
+    MOE_ASSERT(bytes >= 0.0, "negative weight bytes");
+    return bytes / spec_.hbmBandwidth;
+}
+
+} // namespace moentwine

@@ -1,0 +1,88 @@
+#include "model/moe_config.hh"
+
+#include "common/units.hh"
+
+namespace moentwine {
+
+MoEModelConfig
+deepseekV3()
+{
+    MoEModelConfig m;
+    m.name = "DeepSeek-V3";
+    m.totalParams = 671e9;
+    m.sparseLayers = 58;
+    m.totalLayers = 61;
+    m.expertBytes = 42 * units::MB;
+    m.expertsActivated = 8;
+    m.expertsTotal = 256;
+    m.hiddenSize = 7168;
+    return m;
+}
+
+MoEModelConfig
+qwen3()
+{
+    MoEModelConfig m;
+    m.name = "Qwen3-235B";
+    m.totalParams = 235e9;
+    m.sparseLayers = 94;
+    m.totalLayers = 94;
+    m.expertBytes = 18 * units::MB;
+    m.expertsActivated = 8;
+    m.expertsTotal = 128;
+    m.hiddenSize = 4096;
+    return m;
+}
+
+MoEModelConfig
+deepseekV2()
+{
+    MoEModelConfig m;
+    m.name = "DeepSeek-V2";
+    m.totalParams = 236e9;
+    m.sparseLayers = 59;
+    m.totalLayers = 60;
+    m.expertBytes = 23 * units::MB;
+    m.expertsActivated = 6;
+    m.expertsTotal = 160;
+    m.hiddenSize = 5120;
+    return m;
+}
+
+MoEModelConfig
+dbrx()
+{
+    MoEModelConfig m;
+    m.name = "DBRX";
+    m.totalParams = 132e9;
+    m.sparseLayers = 40;
+    m.totalLayers = 40;
+    m.expertBytes = 189 * units::MB;
+    m.expertsActivated = 4;
+    m.expertsTotal = 16;
+    m.hiddenSize = 6144;
+    return m;
+}
+
+MoEModelConfig
+mixtral8x22b()
+{
+    MoEModelConfig m;
+    m.name = "Mixtral-8x22B";
+    m.totalParams = 141e9;
+    m.sparseLayers = 56;
+    m.totalLayers = 56;
+    m.expertBytes = 288 * units::MB;
+    m.expertsActivated = 2;
+    m.expertsTotal = 8;
+    m.hiddenSize = 6144;
+    return m;
+}
+
+std::vector<MoEModelConfig>
+allModels()
+{
+    return {deepseekV3(), qwen3(), deepseekV2(), dbrx(), mixtral8x22b()};
+}
+
+} // namespace moentwine

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * MoE model configurations (Table I of the paper) and the device
+ * specification of the evaluation platform.
+ *
+ * Per the paper's setup, every device — whether a WSC die or a GPU — is
+ * modelled as an NVIDIA B200-equivalent: 2250 TFLOPS FP16 (double that
+ * in INT8), 180 GB HBM at 8 TB/s. Attention and all communication run
+ * in FP16; the expert FFNs run in INT8 (1 byte/parameter), which is why
+ * expert FLOPs-per-token can be derived directly from the Table I
+ * expert sizes.
+ */
+
+#ifndef MOENTWINE_MODEL_MOE_CONFIG_HH
+#define MOENTWINE_MODEL_MOE_CONFIG_HH
+
+#include <string>
+#include <vector>
+
+namespace moentwine {
+
+/** Compute-device specification (defaults model an NVIDIA B200). */
+struct DeviceSpec
+{
+    /** FP16 dense throughput (FLOP/s). */
+    double fp16Flops = 2250e12;
+    /** INT8 dense throughput (OP/s). */
+    double int8Ops = 4500e12;
+    /** HBM capacity (bytes). */
+    double hbmBytes = 180e9;
+    /** HBM bandwidth (B/s). */
+    double hbmBandwidth = 8e12;
+};
+
+/** One MoE model from Table I. */
+struct MoEModelConfig
+{
+    /** Human-readable name for bench output. */
+    std::string name;
+    /** Total parameter count (for documentation only). */
+    double totalParams;
+    /** Number of sparse (MoE) transformer layers. */
+    int sparseLayers;
+    /** Total transformer layers. */
+    int totalLayers;
+    /** Weight bytes of a single expert (INT8). */
+    double expertBytes;
+    /** Experts activated per token (top-k). */
+    int expertsActivated;
+    /** Total routed experts per MoE layer. */
+    int expertsTotal;
+    /** Model hidden size (token embedding width). */
+    int hiddenSize;
+    /**
+     * KV-cache width relative to the hidden size. SOTA MoE models use
+     * MLA or grouped-query attention, so the per-token KV footprint is
+     * a small fraction of 2×hidden; 0.125 approximates both.
+     */
+    double kvCompression = 0.125;
+
+    /** Bytes of one token's hidden activation in FP16. */
+    double tokenBytes() const { return 2.0 * hiddenSize; }
+
+    /**
+     * INT8 operations per token per expert: 2 ops per parameter
+     * (multiply + accumulate), parameters = expertBytes at 1 B/param.
+     */
+    double expertOpsPerToken() const { return 2.0 * expertBytes; }
+
+    /** E/D ratio for a given expert-parallel degree. */
+    double edRatio(int ep) const
+    {
+        return static_cast<double>(expertsTotal) / ep;
+    }
+};
+
+/** DeepSeek-V3: 671B, 58/61 layers, 42 MB experts, 8/256. */
+MoEModelConfig deepseekV3();
+
+/** Qwen3-235B: 94/94 layers, 18 MB experts, 8/128. */
+MoEModelConfig qwen3();
+
+/** DeepSeek-V2: 236B, 59/60 layers, 23 MB experts, 6/160. */
+MoEModelConfig deepseekV2();
+
+/** DBRX: 132B, 40/40 layers, 189 MB experts, 4/16. */
+MoEModelConfig dbrx();
+
+/** Mixtral-8x22B: 141B, 56/56 layers, 288 MB experts, 2/8. */
+MoEModelConfig mixtral8x22b();
+
+/** All Table I models in the paper's order. */
+std::vector<MoEModelConfig> allModels();
+
+} // namespace moentwine
+
+#endif // MOENTWINE_MODEL_MOE_CONFIG_HH

@@ -1,0 +1,137 @@
+#include "network/collectives.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+namespace {
+
+/** Number of chunk rounds for a ring phase over p devices. */
+int
+roundsFor(RingOp op, int p)
+{
+    const int perPhase = p - 1;
+    return op == RingOp::AllReduce ? 2 * perPhase : perPhase;
+}
+
+/**
+ * Per-round serialisation cost of forwarding one chunk between
+ * consecutive ring members: store-and-forward over every link of the
+ * deterministic route, volume term only.
+ */
+double
+edgeVolumeCost(const Topology &topo, DeviceId src, DeviceId dst,
+               double chunk)
+{
+    double time = 0.0;
+    for (const LinkId l : topo.route(src, dst))
+        time += chunk / topo.links()[static_cast<std::size_t>(l)]
+                            .bandwidth;
+    return time;
+}
+
+} // namespace
+
+CollectiveTiming
+ringCollective(const Topology &topo,
+               const std::vector<std::vector<DeviceId>> &rings,
+               double bytes, RingOp op, bool staggered)
+{
+    MOE_ASSERT(!rings.empty(), "ringCollective requires at least one ring");
+    const auto p = rings.front().size();
+    for (const auto &ring : rings) {
+        MOE_ASSERT(ring.size() == p, "all rings must have equal size");
+        MOE_ASSERT(!ring.empty(), "empty ring");
+    }
+
+    PhaseTraffic traffic(topo);
+    if (p == 1) {
+        // Degenerate single-member group: nothing to exchange.
+        return CollectiveTiming{0.0, std::move(traffic)};
+    }
+
+    const double chunk = bytes / static_cast<double>(p);
+    const int rounds = roundsFor(op, static_cast<int>(p));
+
+    // Aggregate traffic: every round, every device forwards one chunk to
+    // its ring successor. Total per edge = rounds × chunk.
+    for (const auto &ring : rings) {
+        for (std::size_t i = 0; i < p; ++i) {
+            const DeviceId src = ring[i];
+            const DeviceId dst = ring[(i + 1) % p];
+            traffic.addPath(topo.route(src, dst),
+                            chunk * static_cast<double>(rounds));
+        }
+    }
+
+    // Rings send bi-directionally (Fig. 8(d)): two chunks are in
+    // flight across every round boundary, so the per-round link
+    // latency is exposed only half the rounds.
+    const double latencyRounds = rounds / 2.0;
+
+    double time = 0.0;
+    if (staggered) {
+        // ER-Mapping schedule: rings sharing links alternate cycles, so
+        // each ring completes in rounds × (its slowest edge cost) and
+        // the phase finishes with the slowest ring (Fig. 8(d)).
+        for (const auto &ring : rings) {
+            double edge = 0.0;
+            double edgeLat = 0.0;
+            for (std::size_t i = 0; i < p; ++i) {
+                edge = std::max(edge,
+                                edgeVolumeCost(topo, ring[i],
+                                               ring[(i + 1) % p],
+                                               chunk));
+                edgeLat = std::max(edgeLat,
+                                   topo.pathLatency(ring[i],
+                                                    ring[(i + 1) % p]));
+            }
+            time = std::max(time, edge * static_cast<double>(rounds) +
+                                      edgeLat * latencyRounds);
+        }
+    } else {
+        // Un-staggered: all rings inject each round simultaneously; a
+        // round costs the congestion-aware phase time of the combined
+        // round traffic.
+        PhaseTraffic round(topo);
+        for (const auto &ring : rings)
+            for (std::size_t i = 0; i < p; ++i)
+                round.addFlow(ring[i], ring[(i + 1) % p], chunk);
+        time = round.serializationTime() * static_cast<double>(rounds) +
+            round.maxPathLatency() * latencyRounds;
+    }
+
+    return CollectiveTiming{time, std::move(traffic)};
+}
+
+CollectiveTiming
+hierarchicalAllReduce(const Topology &topo,
+                      const std::vector<std::vector<DeviceId>> &intraRings,
+                      const std::vector<std::vector<DeviceId>> &interRings,
+                      double bytes)
+{
+    CollectiveTiming intra = ringCollective(topo, intraRings, bytes,
+                                            RingOp::ReduceScatter, true);
+    // After the intra-wafer reduce-scatter each device holds 1/p_intra of
+    // the tensor; the inter-wafer all-gather moves those shards.
+    const double shard =
+        bytes / static_cast<double>(intraRings.front().size());
+    CollectiveTiming inter = ringCollective(topo, interRings, shard,
+                                            RingOp::AllGather, true);
+    intra.traffic.merge(inter.traffic);
+    return CollectiveTiming{intra.time + inter.time,
+                            std::move(intra.traffic)};
+}
+
+CollectiveTiming
+allToAll(const Topology &topo, const std::vector<Flow> &flows)
+{
+    PhaseTraffic traffic(topo);
+    traffic.addFlows(flows);
+    const double time = traffic.phaseTime();
+    return CollectiveTiming{time, std::move(traffic)};
+}
+
+} // namespace moentwine

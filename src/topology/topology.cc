@@ -1,0 +1,62 @@
+#include "topology/topology.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+int
+Topology::hops(DeviceId src, DeviceId dst) const
+{
+    return static_cast<int>(route(src, dst).size());
+}
+
+double
+Topology::pathLatency(DeviceId src, DeviceId dst) const
+{
+    double total = 0.0;
+    for (LinkId l : route(src, dst))
+        total += links_[static_cast<std::size_t>(l)].latency;
+    return total;
+}
+
+double
+Topology::pathBandwidth(DeviceId src, DeviceId dst) const
+{
+    const auto path = route(src, dst);
+    MOE_ASSERT(!path.empty(), "pathBandwidth of a zero-hop route");
+    double bw = links_[static_cast<std::size_t>(path.front())].bandwidth;
+    for (LinkId l : path)
+        bw = std::min(bw, links_[static_cast<std::size_t>(l)].bandwidth);
+    return bw;
+}
+
+LinkId
+Topology::linkBetween(NodeId src, NodeId dst) const
+{
+    if (src < 0 || static_cast<std::size_t>(src) >= outLinks_.size())
+        return -1;
+    for (LinkId l : outLinks_[static_cast<std::size_t>(src)]) {
+        if (links_[static_cast<std::size_t>(l)].dst == dst)
+            return l;
+    }
+    return -1;
+}
+
+LinkId
+Topology::addLink(NodeId src, NodeId dst, double bandwidth, double latency)
+{
+    MOE_ASSERT(src != dst, "self-links are not allowed");
+    MOE_ASSERT(bandwidth > 0.0, "link bandwidth must be positive");
+    MOE_ASSERT(latency >= 0.0, "link latency must be non-negative");
+    const auto id = static_cast<LinkId>(links_.size());
+    links_.push_back(Link{src, dst, bandwidth, latency});
+    const auto need = static_cast<std::size_t>(src) + 1;
+    if (outLinks_.size() < need)
+        outLinks_.resize(need);
+    outLinks_[static_cast<std::size_t>(src)].push_back(id);
+    return id;
+}
+
+} // namespace moentwine

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Abstract network topology interface shared by the wafer-scale mesh and
+ * the GPU-cluster baselines.
+ *
+ * A topology is a directed graph of unidirectional links between nodes.
+ * Nodes [0, numDevices()) are compute devices; a topology may add
+ * internal nodes beyond that range (e.g. switches in a DGX cluster).
+ * Routing is deterministic: route(src, dst) always returns the same link
+ * sequence, which is what lets the analytical congestion model accumulate
+ * per-link traffic volumes reproducibly.
+ */
+
+#ifndef MOENTWINE_TOPOLOGY_TOPOLOGY_HH
+#define MOENTWINE_TOPOLOGY_TOPOLOGY_HH
+
+#include <string>
+#include <vector>
+
+namespace moentwine {
+
+/** Identifier of a compute device or internal switch node. */
+using NodeId = int;
+/** Identifier of a compute device (subset of NodeId space). */
+using DeviceId = int;
+/** Index into Topology::links(). */
+using LinkId = int;
+
+/**
+ * One unidirectional link. Bandwidth is bytes/second for this direction;
+ * latency is the per-traversal link latency of Eq.(1) in the paper.
+ */
+struct Link
+{
+    NodeId src;
+    NodeId dst;
+    double bandwidth;
+    double latency;
+};
+
+/**
+ * Base class for all network topologies.
+ */
+class Topology
+{
+  public:
+    virtual ~Topology() = default;
+
+    /** Number of compute devices (excludes internal switch nodes). */
+    virtual int numDevices() const = 0;
+
+    /** Total number of nodes including internal switches. */
+    virtual int numNodes() const { return numDevices(); }
+
+    /** All unidirectional links. */
+    const std::vector<Link> &links() const { return links_; }
+
+    /**
+     * Deterministic route between two compute devices.
+     * @return Link indices in traversal order; empty when src == dst.
+     */
+    virtual std::vector<LinkId> route(DeviceId src, DeviceId dst) const = 0;
+
+    /** Hop count of the deterministic route (0 when src == dst). */
+    int hops(DeviceId src, DeviceId dst) const;
+
+    /** Sum of per-link latencies along the deterministic route. */
+    double pathLatency(DeviceId src, DeviceId dst) const;
+
+    /** Minimum link bandwidth along the deterministic route. */
+    double pathBandwidth(DeviceId src, DeviceId dst) const;
+
+    /** Human-readable topology name for bench output. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Index of the directed link src→dst, or -1 when the two nodes are
+     * not directly connected.
+     */
+    LinkId linkBetween(NodeId src, NodeId dst) const;
+
+  protected:
+    /** Append a link and register it in the adjacency index. */
+    LinkId addLink(NodeId src, NodeId dst, double bandwidth, double latency);
+
+    std::vector<Link> links_;
+
+  private:
+    // (src, dst) → link id map, linear-scanned per src bucket; adjacency
+    // degree is tiny (≤ 5 for meshes, ≤ numNodes for switches).
+    std::vector<std::vector<LinkId>> outLinks_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_TOPOLOGY_TOPOLOGY_HH

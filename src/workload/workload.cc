@@ -1,0 +1,140 @@
+#include "workload/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig &cfg)
+    : cfg_(cfg), rng_(cfg.seed)
+{
+    MOE_ASSERT(cfg.numExperts > 0, "numExperts must be positive");
+    MOE_ASSERT(cfg.topK > 0 && cfg.topK <= cfg.numExperts,
+               "topK must be in [1, numExperts]");
+    MOE_ASSERT(cfg.mixPeriod > 0, "mixPeriod must be positive");
+}
+
+std::vector<double>
+WorkloadGenerator::mixtureWeights(int iteration) const
+{
+    const auto scenarios = allScenarios();
+    std::vector<double> mix(scenarios.size(), 0.0);
+    switch (cfg_.mode) {
+      case GatingMode::Balanced:
+        // Unused, but keep a defined value.
+        std::fill(mix.begin(), mix.end(),
+                  1.0 / static_cast<double>(scenarios.size()));
+        break;
+      case GatingMode::SingleScenario:
+        for (std::size_t s = 0; s < scenarios.size(); ++s)
+            mix[s] = scenarios[s] == cfg_.scenario ? 1.0 : 0.0;
+        break;
+      case GatingMode::MixedScenario: {
+        // Smooth cyclic drift: each scenario's weight is a raised
+        // cosine with a phase offset, normalised to a convex mixture.
+        const double phase = 2.0 * M_PI *
+            static_cast<double>(iteration) /
+            static_cast<double>(cfg_.mixPeriod);
+        double total = 0.0;
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            const double offset = 2.0 * M_PI * static_cast<double>(s) /
+                static_cast<double>(scenarios.size());
+            mix[s] = 1.0 + std::cos(phase - offset);
+            total += mix[s];
+        }
+        for (double &m : mix)
+            m /= total;
+        break;
+      }
+    }
+    return mix;
+}
+
+std::vector<double>
+WorkloadGenerator::affinity(int iteration, int layer) const
+{
+    std::vector<double> weights(
+        static_cast<std::size_t>(cfg_.numExperts), 0.0);
+    if (cfg_.mode == GatingMode::Balanced) {
+        std::fill(weights.begin(), weights.end(), 1.0);
+    } else {
+        const auto scenarios = allScenarios();
+        const auto mix = mixtureWeights(iteration);
+        for (std::size_t s = 0; s < scenarios.size(); ++s) {
+            if (mix[s] <= 0.0)
+                continue;
+            const auto base = scenarioAffinity(scenarios[s], layer,
+                                               cfg_.numExperts, cfg_.zipf,
+                                               cfg_.seed);
+            for (std::size_t e = 0; e < weights.size(); ++e)
+                weights[e] += mix[s] * base[e];
+        }
+    }
+    double total = 0.0;
+    for (double w : weights)
+        total += w;
+    MOE_ASSERT(total > 0.0, "degenerate affinity");
+    for (double &w : weights)
+        w /= total;
+    return weights;
+}
+
+std::vector<std::vector<int>>
+WorkloadGenerator::sampleCounts(int iteration, int layer,
+                                int tokensPerGroup, int dpGroups)
+{
+    MOE_ASSERT(tokensPerGroup >= 0, "negative token count");
+    MOE_ASSERT(dpGroups > 0, "dpGroups must be positive");
+    const auto weights = affinity(iteration, layer);
+    std::vector<std::vector<int>> counts;
+    counts.reserve(static_cast<std::size_t>(dpGroups));
+    const int draws = tokensPerGroup * cfg_.topK;
+    for (int g = 0; g < dpGroups; ++g)
+        counts.push_back(sampleMultinomial(rng_, weights, draws));
+    return counts;
+}
+
+std::vector<double>
+WorkloadGenerator::expertLoads(const std::vector<std::vector<int>> &counts,
+                               int numExperts)
+{
+    std::vector<double> loads(static_cast<std::size_t>(numExperts), 0.0);
+    for (const auto &row : counts) {
+        MOE_ASSERT(row.size() == loads.size(),
+                   "counts row width mismatch");
+        for (std::size_t e = 0; e < row.size(); ++e)
+            loads[e] += row[e];
+    }
+    return loads;
+}
+
+std::vector<int>
+sampleMultinomial(Rng &rng, const std::vector<double> &weights, int draws)
+{
+    MOE_ASSERT(!weights.empty(), "empty weight vector");
+    MOE_ASSERT(draws >= 0, "negative draw count");
+    std::vector<double> cdf(weights.size());
+    double acc = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        MOE_ASSERT(weights[i] >= 0.0, "negative weight");
+        acc += weights[i];
+        cdf[i] = acc;
+    }
+    MOE_ASSERT(acc > 0.0, "weights sum to zero");
+
+    std::vector<int> counts(weights.size(), 0);
+    for (int d = 0; d < draws; ++d) {
+        const double r = rng.uniform() * acc;
+        const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
+        const auto idx = static_cast<std::size_t>(
+            std::min<std::ptrdiff_t>(it - cdf.begin(),
+                                     static_cast<std::ptrdiff_t>(
+                                         weights.size() - 1)));
+        ++counts[idx];
+    }
+    return counts;
+}
+
+} // namespace moentwine

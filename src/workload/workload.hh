@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Workload generation: per-iteration expert-selection counts for every
+ * DP group, driven by scenario affinities and a slowly evolving
+ * scenario mixture (the Azure-trace-style production mix of the paper).
+ *
+ * The generator produces, per (iteration, layer), a DP×E matrix of
+ * token-to-expert assignment counts by multinomial sampling of each
+ * group's token·top-k slots over the effective affinity. Three regimes
+ * are supported:
+ *  - Balanced: uniform expert probability — used by the ER-Mapping
+ *    communication study to isolate mapping effects (Section VI-B);
+ *  - Single scenario: one fixed scenario (e.g. Math-only), whose load
+ *    ratios stabilise after warm-up (Fig. 12);
+ *  - Mixed: a cyclically drifting convex mixture of all four scenarios,
+ *    which keeps load ratios slowly moving and forces continuous
+ *    re-balancing (Fig. 15/16).
+ */
+
+#ifndef MOENTWINE_WORKLOAD_WORKLOAD_HH
+#define MOENTWINE_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workload/scenario.hh"
+
+namespace moentwine {
+
+/** Which expert-selection regime drives gating. */
+enum class GatingMode
+{
+    Balanced,       ///< uniform expert probability (communication studies)
+    SingleScenario, ///< one fixed scenario
+    MixedScenario,  ///< drifting mixture of all scenarios
+};
+
+/** Workload generator configuration. */
+struct WorkloadConfig
+{
+    /** Routed experts per MoE layer. */
+    int numExperts = 256;
+    /** Experts activated per token. */
+    int topK = 8;
+    /** Selection regime. */
+    GatingMode mode = GatingMode::Balanced;
+    /** Scenario for SingleScenario mode. */
+    ScenarioKind scenario = ScenarioKind::Math;
+    /** Zipf exponent of the expert popularity skew. */
+    double zipf = 1.0;
+    /** Iterations per full mixture rotation (MixedScenario mode). */
+    int mixPeriod = 400;
+    /** Base seed; equal configs generate equal traces. */
+    uint64_t seed = 42;
+};
+
+/**
+ * Deterministic expert-selection trace generator.
+ */
+class WorkloadGenerator
+{
+  public:
+    explicit WorkloadGenerator(const WorkloadConfig &cfg);
+
+    /**
+     * Effective per-expert selection probability (normalised) at the
+     * given iteration and layer.
+     */
+    std::vector<double> affinity(int iteration, int layer) const;
+
+    /**
+     * Sample the DP×E matrix of token-to-expert assignment counts.
+     *
+     * @param iteration      Inference iteration index.
+     * @param layer          MoE layer index.
+     * @param tokensPerGroup Tokens held by each DP group this iteration.
+     * @param dpGroups       Number of DP groups.
+     * @return counts[group][expert], with each row summing to
+     *         tokensPerGroup × topK.
+     */
+    std::vector<std::vector<int>> sampleCounts(int iteration, int layer,
+                                               int tokensPerGroup,
+                                               int dpGroups);
+
+    /** Aggregate expert loads (column sums of sampleCounts output). */
+    static std::vector<double> expertLoads(
+        const std::vector<std::vector<int>> &counts, int numExperts);
+
+    /** The configuration in use. */
+    const WorkloadConfig &config() const { return cfg_; }
+
+  private:
+    /** Mixture weight of each scenario at the given iteration. */
+    std::vector<double> mixtureWeights(int iteration) const;
+
+    WorkloadConfig cfg_;
+    Rng rng_;
+};
+
+/**
+ * Multinomial sampling helper: draw @p draws samples from the
+ * distribution proportional to @p weights, returning per-index counts.
+ * Uses CDF binary search, O(draws · log n).
+ */
+std::vector<int> sampleMultinomial(Rng &rng,
+                                   const std::vector<double> &weights,
+                                   int draws);
+
+} // namespace moentwine
+
+#endif // MOENTWINE_WORKLOAD_WORKLOAD_HH

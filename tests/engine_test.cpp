@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the inference engine: timeline composition, balancer
+ * integration, and the scheduling modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+System
+smallWsc()
+{
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscEr;
+    sc.meshN = 4;
+    sc.tp = 4;
+    return System::make(sc);
+}
+
+EngineConfig
+baseConfig()
+{
+    EngineConfig ec;
+    ec.model = qwen3();
+    ec.decodeTokensPerGroup = 128;
+    ec.workload.mode = GatingMode::SingleScenario;
+    ec.workload.scenario = ScenarioKind::Math;
+    return ec;
+}
+
+} // namespace
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    const System sys = smallWsc();
+    InferenceEngine a(sys.mapping(), baseConfig());
+    InferenceEngine b(sys.mapping(), baseConfig());
+    const auto ra = a.run(5);
+    const auto rb = b.run(5);
+    for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_DOUBLE_EQ(ra[i].moeTime, rb[i].moeTime);
+        EXPECT_DOUBLE_EQ(ra[i].dispatch, rb[i].dispatch);
+    }
+}
+
+TEST(Engine, AllComponentsPositiveInDecode)
+{
+    const System sys = smallWsc();
+    InferenceEngine engine(sys.mapping(), baseConfig());
+    const auto s = engine.step();
+    EXPECT_GT(s.attnCompute, 0.0);
+    EXPECT_GT(s.allReduce, 0.0);
+    EXPECT_GT(s.dispatch, 0.0);
+    EXPECT_GT(s.combine, 0.0);
+    EXPECT_GT(s.moeTime, 0.0);
+    EXPECT_GT(s.moeMemoryOnly, 0.0); // decode streams expert weights
+    EXPECT_DOUBLE_EQ(s.migrationOverhead, 0.0);
+}
+
+TEST(Engine, LayerTimeComposition)
+{
+    const System sys = smallWsc();
+    const EngineConfig ec = baseConfig();
+    InferenceEngine engine(sys.mapping(), ec);
+    const auto s = engine.step();
+    EXPECT_NEAR(s.layerTime(ec.pipelineStages),
+                s.attnPhase(ec.pipelineStages) +
+                    s.moePhase(ec.pipelineStages) + s.migrationOverhead,
+                1e-15);
+    // Overlap bounds: phase at least the max component, at most sum.
+    EXPECT_GE(s.moePhase(ec.pipelineStages),
+              std::max(s.moeTime, s.allToAll()));
+    EXPECT_LE(s.moePhase(ec.pipelineStages),
+              s.moeTime + s.allToAll() + 1e-15);
+}
+
+TEST(Engine, MorePipelineStagesTightenOverlap)
+{
+    const System sys = smallWsc();
+    InferenceEngine engine(sys.mapping(), baseConfig());
+    const auto s = engine.step();
+    EXPECT_LE(s.moePhase(8), s.moePhase(2));
+}
+
+TEST(Engine, SkewedWorkloadIsImbalanced)
+{
+    const System sys = smallWsc();
+    InferenceEngine engine(sys.mapping(), baseConfig());
+    const auto s = engine.step();
+    EXPECT_GT(s.imbalance, 0.3);
+    EXPECT_GT(s.loadMax, s.loadAvg);
+}
+
+TEST(Engine, BalancedGatingIsFlat)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.workload.mode = GatingMode::Balanced;
+    ec.decodeTokensPerGroup = 1024;
+    InferenceEngine engine(sys.mapping(), ec);
+    const auto s = engine.step();
+    EXPECT_LT(s.imbalance, 0.3);
+}
+
+TEST(Engine, PrefillHasMoreTokens)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.schedule = SchedulingMode::PrefillOnly;
+    InferenceEngine prefill(sys.mapping(), ec);
+    ec.schedule = SchedulingMode::DecodeOnly;
+    InferenceEngine decode(sys.mapping(), ec);
+    EXPECT_GT(prefill.tokensPerGroup(), decode.tokensPerGroup());
+}
+
+TEST(Engine, HybridBetweenPrefillAndDecode)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.schedule = SchedulingMode::Hybrid;
+    InferenceEngine hybrid(sys.mapping(), ec);
+    ec.schedule = SchedulingMode::PrefillOnly;
+    InferenceEngine prefill(sys.mapping(), ec);
+    ec.schedule = SchedulingMode::DecodeOnly;
+    InferenceEngine decode(sys.mapping(), ec);
+    EXPECT_GT(hybrid.tokensPerGroup(), decode.tokensPerGroup());
+    EXPECT_LT(hybrid.tokensPerGroup(), prefill.tokensPerGroup());
+}
+
+TEST(Engine, InvasiveBalancerExposesMigrationOverhead)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.balancer = BalancerKind::Greedy;
+    ec.alpha = 0.5;
+    ec.beta = 2;
+    InferenceEngine engine(sys.mapping(), ec);
+    double totalOverhead = 0.0;
+    for (const auto &s : engine.run(30))
+        totalOverhead += s.migrationOverhead;
+    EXPECT_GT(totalOverhead, 0.0);
+}
+
+TEST(Engine, NonInvasiveNeverExposesOverhead)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.balancer = BalancerKind::NonInvasive;
+    ec.alpha = 0.5;
+    InferenceEngine engine(sys.mapping(), ec);
+    int planned = 0;
+    for (const auto &s : engine.run(30)) {
+        EXPECT_DOUBLE_EQ(s.migrationOverhead, 0.0);
+        planned += s.migrationsPlanned;
+    }
+    EXPECT_GT(planned, 0);
+}
+
+TEST(Engine, NonInvasiveMigrationsEventuallyComplete)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.balancer = BalancerKind::NonInvasive;
+    ec.alpha = 0.5;
+    InferenceEngine engine(sys.mapping(), ec);
+    const auto trace = engine.run(50);
+    int completed = 0;
+    for (const auto &s : trace)
+        completed += s.migrationsCompleted;
+    EXPECT_GT(completed, 0);
+    EXPECT_EQ(trace.back().migrationsPending, 0);
+}
+
+TEST(Engine, BalancingReducesLoadRatio)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    InferenceEngine none(sys.mapping(), ec);
+    ec.balancer = BalancerKind::NonInvasive;
+    ec.alpha = 0.5;
+    InferenceEngine balanced(sys.mapping(), ec);
+
+    auto tailRatio = [](const std::vector<IterationStats> &trace) {
+        double ratio = 0.0;
+        int n = 0;
+        for (std::size_t i = trace.size() / 2; i < trace.size(); ++i) {
+            ratio += trace[i].loadMax / trace[i].loadAvg;
+            ++n;
+        }
+        return ratio / n;
+    };
+    const double noneRatio = tailRatio(none.run(40));
+    const double balRatio = tailRatio(balanced.run(40));
+    EXPECT_LT(balRatio, noneRatio);
+}
+
+TEST(Engine, EspModeSkipsAllToAll)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.model = mixtral8x22b();
+    ec.esp = true;
+    InferenceEngine engine(sys.mapping(), ec);
+    const auto s = engine.step();
+    EXPECT_DOUBLE_EQ(s.dispatch, 0.0);
+    EXPECT_DOUBLE_EQ(s.combine, 0.0);
+    EXPECT_GT(s.epAllReduce, 0.0);
+    EXPECT_GT(s.moeTime, 0.0);
+}
+
+TEST(Engine, WorksOnClusterPlatforms)
+{
+    SystemConfig sc;
+    sc.platform = PlatformKind::DgxCluster;
+    sc.dgxNodes = 2;
+    sc.tp = 4;
+    const System sys = System::make(sc);
+    InferenceEngine engine(sys.mapping(), baseConfig());
+    const auto s = engine.step();
+    EXPECT_GT(s.allToAll(), 0.0);
+    EXPECT_GT(s.moeTime, 0.0);
+}
+
+TEST(Engine, RetainAgTogglesDispatchCost)
+{
+    const System sys = smallWsc();
+    EngineConfig ec = baseConfig();
+    ec.workload.mode = GatingMode::Balanced;
+    ec.retainAllGather = true;
+    InferenceEngine withAg(sys.mapping(), ec);
+    ec.retainAllGather = false;
+    InferenceEngine withoutAg(sys.mapping(), ec);
+    const auto a = withAg.step();
+    const auto b = withoutAg.step();
+    // Fig. 14(b): retaining AG doubles all-reduce but cuts all-to-all.
+    EXPECT_GT(a.allReduce, b.allReduce);
+    EXPECT_LT(a.allToAll(), b.allToAll());
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit tests for the FTD geometric analysis helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mapping/ftd.hh"
+#include "topology/mesh.hh"
+
+using namespace moentwine;
+
+TEST(BoundingBox, SingleDevice)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const auto box = ftdBoundingBox(mesh, {mesh.deviceAt(2, 1)});
+    EXPECT_EQ(box.rowLo, 2);
+    EXPECT_EQ(box.rowHi, 2);
+    EXPECT_EQ(box.colLo, 1);
+    EXPECT_EQ(box.colHi, 1);
+    EXPECT_EQ(box.area(), 1);
+}
+
+TEST(BoundingBox, SpreadSet)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const auto box = ftdBoundingBox(
+        mesh, {mesh.deviceAt(0, 0), mesh.deviceAt(2, 3)});
+    EXPECT_EQ(box.area(), 12);
+}
+
+TEST(BoundingBox, OverlapDetection)
+{
+    const BoundingBox a{0, 0, 2, 2};
+    const BoundingBox b{2, 2, 3, 3};
+    const BoundingBox c{3, 0, 3, 1};
+    EXPECT_TRUE(a.overlaps(b));
+    EXPECT_TRUE(b.overlaps(a));
+    EXPECT_FALSE(a.overlaps(c)); // rows 0-2 vs row 3
+    EXPECT_FALSE(b.overlaps(c)); // cols 2-3 vs cols 0-1
+}
+
+TEST(BoundingBox, SelfOverlap)
+{
+    const BoundingBox a{1, 1, 2, 2};
+    EXPECT_TRUE(a.overlaps(a));
+}
+
+TEST(FtdAverageHops, SingletonIsZero)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(3);
+    EXPECT_DOUBLE_EQ(ftdAverageHops(mesh, {0}), 0.0);
+}
+
+TEST(FtdAverageHops, PairIsDistance)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    EXPECT_DOUBLE_EQ(ftdAverageHops(mesh, {mesh.deviceAt(0, 0),
+                                           mesh.deviceAt(0, 3)}),
+                     3.0);
+}
+
+TEST(FtdAverageHops, PaperBaselineValue)
+{
+    // {(0,0),(0,2),(2,0),(2,2)}: distances from each member to the
+    // other three are 2,2,4 → mean 8/3 ≈ 2.67 (paper's 2.7).
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const std::vector<DeviceId> ftd{
+        mesh.deviceAt(0, 0), mesh.deviceAt(0, 2), mesh.deviceAt(2, 0),
+        mesh.deviceAt(2, 2)};
+    EXPECT_NEAR(ftdAverageHops(mesh, ftd), 8.0 / 3.0, 1e-12);
+}
+
+TEST(FtdAverageHops, PaperErValue)
+{
+    // Compact 2×2 block: 1,1,2 → mean 4/3 ≈ 1.33 (paper's 1.3).
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const std::vector<DeviceId> ftd{
+        mesh.deviceAt(0, 0), mesh.deviceAt(0, 1), mesh.deviceAt(1, 0),
+        mesh.deviceAt(1, 1)};
+    EXPECT_NEAR(ftdAverageHops(mesh, ftd), 4.0 / 3.0, 1e-12);
+}
+
+TEST(CountFtdIntersections, DisjointBlocks)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const std::vector<std::vector<DeviceId>> ftds{
+        {mesh.deviceAt(0, 0), mesh.deviceAt(1, 1)},
+        {mesh.deviceAt(2, 2), mesh.deviceAt(3, 3)},
+        {mesh.deviceAt(0, 2), mesh.deviceAt(1, 3)}};
+    EXPECT_EQ(countFtdIntersections(mesh, ftds), 0);
+}
+
+TEST(CountFtdIntersections, AllOverlapInCentre)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    // Three spread FTDs all covering the centre: 3 pairs intersect.
+    const std::vector<std::vector<DeviceId>> ftds{
+        {mesh.deviceAt(0, 0), mesh.deviceAt(3, 3)},
+        {mesh.deviceAt(0, 3), mesh.deviceAt(3, 0)},
+        {mesh.deviceAt(1, 1), mesh.deviceAt(2, 2)}};
+    EXPECT_EQ(countFtdIntersections(mesh, ftds), 3);
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Property tests for the Fig. 11 claim NI-Balancer is built on: under
+ * ER-Mapping, the hot/cold link distributions of the attention
+ * all-reduce and the MoE all-to-all are complementary, across every
+ * mesh scale and TP shape the paper shows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+class ComplementaryLinks
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+  protected:
+    struct PhaseVolumes
+    {
+        double arIntra = 0.0;
+        double arInter = 0.0;
+        double a2aIntra = 0.0;
+        double a2aInter = 0.0;
+    };
+
+    PhaseVolumes
+    measure() const
+    {
+        const auto [meshN, tp] = GetParam();
+        const MeshTopology mesh = MeshTopology::singleWafer(meshN);
+        const ErMapping er(mesh, decomposeTp(tp, meshN, meshN));
+        const auto comm =
+            evaluateCommunication(er, deepseekV3(), 256, true);
+        PhaseVolumes v;
+        for (std::size_t l = 0; l < mesh.links().size(); ++l) {
+            const Link &link = mesh.links()[l];
+            const bool inter =
+                er.ftdOf(link.src) != er.ftdOf(link.dst);
+            const auto id = static_cast<LinkId>(l);
+            (inter ? v.arInter : v.arIntra) +=
+                comm.arTraffic.linkVolume(id);
+            (inter ? v.a2aInter : v.a2aIntra) +=
+                comm.a2aTraffic.linkVolume(id);
+        }
+        return v;
+    }
+};
+
+TEST_P(ComplementaryLinks, AllToAllNeverCrossesFtdBoundaries)
+{
+    // Fig. 11(b): all inter-FTD links are cold during all-to-all.
+    const auto v = measure();
+    EXPECT_DOUBLE_EQ(v.a2aInter, 0.0);
+    EXPECT_GT(v.a2aIntra, 0.0);
+}
+
+TEST_P(ComplementaryLinks, AllReduceLoadsInterFtdLinks)
+{
+    // Fig. 11(a): the entwined rings hop across FTD boundaries, so
+    // all-reduce traffic must put volume on inter-FTD links — the
+    // capacity Global Migration borrows during the MoE phase.
+    const auto [meshN, tp] = GetParam();
+    if (tp == meshN * meshN)
+        GTEST_SKIP() << "degenerate: one group spanning everything";
+    const auto v = measure();
+    EXPECT_GT(v.arInter, 0.0);
+}
+
+TEST_P(ComplementaryLinks, MigrationWindowsExistInBothPhases)
+{
+    // NI-Balancer's premise: every phase leaves idle capacity on the
+    // link class the other phase saturates.
+    const auto [meshN, tp] = GetParam();
+    const MeshTopology mesh = MeshTopology::singleWafer(meshN);
+    const ErMapping er(mesh, decomposeTp(tp, meshN, meshN));
+    const auto comm =
+        evaluateCommunication(er, deepseekV3(), 256, true);
+
+    const double arWindow = comm.allReduce;
+    const double a2aWindow = comm.allToAll();
+    double intraIdleDuringAr = 0.0;
+    double interIdleDuringA2a = 0.0;
+    for (std::size_t l = 0; l < mesh.links().size(); ++l) {
+        const Link &link = mesh.links()[l];
+        const bool inter = er.ftdOf(link.src) != er.ftdOf(link.dst);
+        const auto id = static_cast<LinkId>(l);
+        if (!inter)
+            intraIdleDuringAr += comm.arTraffic.idleBytes(id, arWindow);
+        else
+            interIdleDuringA2a +=
+                comm.a2aTraffic.idleBytes(id, a2aWindow);
+    }
+    EXPECT_GT(intraIdleDuringAr, 0.0);
+    EXPECT_GT(interIdleDuringA2a, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig11Cases, ComplementaryLinks,
+    ::testing::Values(std::make_tuple(4, 4),   // Fig. 11(a)/(b)
+                      std::make_tuple(4, 2),   // Fig. 11(c) left
+                      std::make_tuple(6, 4),   // Fig. 11(c) right
+                      std::make_tuple(6, 6),
+                      std::make_tuple(8, 4),
+                      std::make_tuple(8, 16)));

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for Hierarchical ER-Mapping on multi-wafer systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/er_mapping.hh"
+#include "mapping/her_mapping.hh"
+#include "mapping/parallelism.hh"
+#include "topology/mesh.hh"
+
+using namespace moentwine;
+
+namespace {
+
+MeshTopology
+fourWafers4x4()
+{
+    return MeshTopology::waferRow(4, 4);
+}
+
+} // namespace
+
+TEST(HerMapping, GroupsStayWithinWafer)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    for (const auto &group : her.tpGroups()) {
+        std::set<int> wafers;
+        for (const DeviceId d : group)
+            wafers.insert(mesh.waferOf(d));
+        EXPECT_EQ(wafers.size(), 1u);
+    }
+}
+
+TEST(HerMapping, GroupCountScalesWithWafers)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    EXPECT_EQ(her.tp(), 4);
+    EXPECT_EQ(her.dp(), 16); // 4 groups per wafer × 4 wafers
+}
+
+TEST(HerMapping, FtdsStayWithinWafer)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    for (const auto &ftd : her.ftds()) {
+        std::set<int> wafers;
+        for (const DeviceId d : ftd)
+            wafers.insert(mesh.waferOf(d));
+        EXPECT_EQ(wafers.size(), 1u);
+    }
+}
+
+TEST(HerMapping, InterWaferRingsCoverAllWafers)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    EXPECT_EQ(her.interWaferRings().size(),
+              std::size_t(mesh.devicesPerWafer()));
+    for (const auto &ring : her.interWaferRings()) {
+        EXPECT_EQ(ring.size(), std::size_t(mesh.numWafers()));
+        std::set<int> wafers;
+        for (const DeviceId d : ring)
+            wafers.insert(mesh.waferOf(d));
+        EXPECT_EQ(wafers.size(), std::size_t(mesh.numWafers()));
+    }
+}
+
+TEST(HerMapping, MirrorOnPreservesLocalCoordinate)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    const DeviceId d = mesh.deviceAt(1, 2); // wafer 0, local (1,2)
+    const DeviceId m = her.mirrorOn(d, 2);
+    EXPECT_EQ(mesh.waferOf(m), 2);
+    EXPECT_EQ(mesh.coordOf(m).row, 1);
+    EXPECT_EQ(mesh.coordOf(m).col, 2 + 2 * 4);
+}
+
+TEST(HerMapping, MirrorOnOwnWaferIsIdentity)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    EXPECT_EQ(her.mirrorOn(5, mesh.waferOf(5)), 5);
+}
+
+TEST(HerMapping, DispatchSourceIsOnExpertWafer)
+{
+    // The HER property: after the hierarchical all-reduce, every
+    // dispatch is served from the expert's own wafer (Fig. 10(c)).
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    for (int g = 0; g < her.dp(); g += 3) {
+        for (int r = 0; r < her.tp(); ++r) {
+            for (DeviceId e = 0; e < mesh.numDevices(); e += 7) {
+                const DeviceId src = her.dispatchSource(g, r, e, true);
+                EXPECT_EQ(mesh.waferOf(src), mesh.waferOf(e));
+            }
+        }
+    }
+}
+
+TEST(HerMapping, DispatchWithoutAllGatherUsesOwner)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    const DeviceId owner = her.tpGroups()[0][1];
+    // An expert on a remote wafer still fetches from the owner.
+    const DeviceId remote = mesh.waferDevices(3).front();
+    EXPECT_EQ(her.dispatchSource(0, 1, remote, false), owner);
+}
+
+TEST(HerMapping, HierarchicalAllReduceBeatsFlatEr)
+{
+    // Fig. 13(d): on multi-wafer systems HER's two-stage all-reduce is
+    // cheaper than one flat entwined ring spanning wafers.
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    const auto flatPar = decomposeTp(4, mesh.rows(), mesh.cols());
+    const ErMapping flat(mesh, flatPar);
+    const double bytes = 256 * 2.0 * 4096;
+    EXPECT_LT(her.allReduce(bytes, true).time,
+              flat.allReduce(bytes, true).time);
+}
+
+TEST(HerMapping, SingleWaferDegeneratesToEr)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    const ErMapping er(mesh, ParallelismConfig{2, 2});
+    const double bytes = 1e6;
+    EXPECT_NEAR(her.allReduce(bytes, true).time,
+                er.allReduce(bytes, true).time, 1e-12);
+}
+
+TEST(HerMapping, StaggeredRings)
+{
+    const MeshTopology mesh = fourWafers4x4();
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    EXPECT_TRUE(her.staggeredRings());
+    EXPECT_EQ(her.name(), "HER-Mapping");
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the model configurations (Table I) and the roofline
+ * cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "model/cost_model.hh"
+#include "model/moe_config.hh"
+
+using namespace moentwine;
+
+// ---------------------------------------------------------- Table I ----
+
+TEST(ModelConfig, DeepSeekV3MatchesTable1)
+{
+    const auto m = deepseekV3();
+    EXPECT_EQ(m.name, "DeepSeek-V3");
+    EXPECT_EQ(m.sparseLayers, 58);
+    EXPECT_EQ(m.totalLayers, 61);
+    EXPECT_DOUBLE_EQ(m.expertBytes, 42 * units::MB);
+    EXPECT_EQ(m.expertsActivated, 8);
+    EXPECT_EQ(m.expertsTotal, 256);
+}
+
+TEST(ModelConfig, Qwen3MatchesTable1)
+{
+    const auto m = qwen3();
+    EXPECT_EQ(m.sparseLayers, 94);
+    EXPECT_EQ(m.totalLayers, 94);
+    EXPECT_DOUBLE_EQ(m.expertBytes, 18 * units::MB);
+    EXPECT_EQ(m.expertsActivated, 8);
+    EXPECT_EQ(m.expertsTotal, 128);
+}
+
+TEST(ModelConfig, DeepSeekV2MatchesTable1)
+{
+    const auto m = deepseekV2();
+    EXPECT_EQ(m.sparseLayers, 59);
+    EXPECT_EQ(m.totalLayers, 60);
+    EXPECT_DOUBLE_EQ(m.expertBytes, 23 * units::MB);
+    EXPECT_EQ(m.expertsActivated, 6);
+    EXPECT_EQ(m.expertsTotal, 160);
+}
+
+TEST(ModelConfig, DbrxMatchesTable1)
+{
+    const auto m = dbrx();
+    EXPECT_EQ(m.sparseLayers, 40);
+    EXPECT_DOUBLE_EQ(m.expertBytes, 189 * units::MB);
+    EXPECT_EQ(m.expertsActivated, 4);
+    EXPECT_EQ(m.expertsTotal, 16);
+}
+
+TEST(ModelConfig, MixtralMatchesTable1)
+{
+    const auto m = mixtral8x22b();
+    EXPECT_EQ(m.sparseLayers, 56);
+    EXPECT_DOUBLE_EQ(m.expertBytes, 288 * units::MB);
+    EXPECT_EQ(m.expertsActivated, 2);
+    EXPECT_EQ(m.expertsTotal, 8);
+}
+
+TEST(ModelConfig, AllModelsInPaperOrder)
+{
+    const auto all = allModels();
+    ASSERT_EQ(all.size(), 5u);
+    EXPECT_EQ(all[0].name, "DeepSeek-V3");
+    EXPECT_EQ(all[4].name, "Mixtral-8x22B");
+}
+
+TEST(ModelConfig, TokenBytesIsFp16Hidden)
+{
+    EXPECT_DOUBLE_EQ(deepseekV3().tokenBytes(), 2.0 * 7168);
+    EXPECT_DOUBLE_EQ(qwen3().tokenBytes(), 2.0 * 4096);
+}
+
+TEST(ModelConfig, ExpertOpsDerivedFromBytes)
+{
+    // INT8: 1 byte per parameter, 2 ops per parameter.
+    EXPECT_DOUBLE_EQ(deepseekV3().expertOpsPerToken(),
+                     2.0 * 42 * units::MB);
+}
+
+TEST(ModelConfig, EdRatio)
+{
+    EXPECT_DOUBLE_EQ(deepseekV3().edRatio(32), 8.0);
+    EXPECT_DOUBLE_EQ(deepseekV3().edRatio(256), 1.0);
+    EXPECT_LT(mixtral8x22b().edRatio(16), 1.0);
+}
+
+// ---------------------------------------------------------- DeviceSpec --
+
+TEST(DeviceSpec, B200Defaults)
+{
+    const DeviceSpec spec;
+    EXPECT_DOUBLE_EQ(spec.fp16Flops, 2250e12);
+    EXPECT_DOUBLE_EQ(spec.int8Ops, 4500e12);
+    EXPECT_DOUBLE_EQ(spec.hbmBytes, 180e9);
+    EXPECT_DOUBLE_EQ(spec.hbmBandwidth, 8e12);
+}
+
+// ----------------------------------------------------------- CostModel --
+
+TEST(CostModel, MoeDeviceZeroWorkIsFree)
+{
+    const CostModel cost;
+    const auto c = cost.moeDevice(deepseekV3(), 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(c.computeTime, 0.0);
+    EXPECT_DOUBLE_EQ(c.memoryTime, 0.0);
+    EXPECT_DOUBLE_EQ(c.total(), 0.0);
+}
+
+TEST(CostModel, MoeComputeLinearInTokens)
+{
+    const CostModel cost;
+    const auto a = cost.moeDevice(deepseekV3(), 100.0, 1.0);
+    const auto b = cost.moeDevice(deepseekV3(), 200.0, 1.0);
+    EXPECT_NEAR(b.computeTime, 2.0 * a.computeTime, 1e-15);
+    EXPECT_DOUBLE_EQ(b.memoryTime, a.memoryTime);
+}
+
+TEST(CostModel, MoeMemoryLinearInExperts)
+{
+    const CostModel cost;
+    const auto a = cost.moeDevice(deepseekV3(), 100.0, 1.0);
+    const auto b = cost.moeDevice(deepseekV3(), 100.0, 8.0);
+    EXPECT_NEAR(b.memoryTime, 8.0 * a.memoryTime, 1e-15);
+}
+
+TEST(CostModel, WeightStreamMatchesBandwidth)
+{
+    const CostModel cost;
+    // 8 GB at 8 TB/s = 1 ms.
+    EXPECT_NEAR(cost.weightStreamTime(8e9), 1e-3, 1e-12);
+}
+
+TEST(CostModel, EfficiencyScalesCompute)
+{
+    const CostModel full(DeviceSpec{}, 1.0);
+    const CostModel half(DeviceSpec{}, 0.5);
+    const auto a = full.moeDevice(qwen3(), 512.0, 1.0);
+    const auto b = half.moeDevice(qwen3(), 512.0, 1.0);
+    EXPECT_NEAR(b.computeTime, 2.0 * a.computeTime, 1e-15);
+}
+
+TEST(CostModel, DecodeMemoryBoundRegime)
+{
+    // Few tokens, all experts resident: memory must dominate (Fig. 4
+    // at small EP).
+    const CostModel cost;
+    const auto c = cost.moeDevice(deepseekV3(), 8.0, 32.0);
+    EXPECT_GT(c.memoryTime, c.computeTime);
+}
+
+TEST(CostModel, LargeEpShiftsToComputeBound)
+{
+    // Same total work spread at EP=256: one expert per device, many
+    // tokens → compute share rises (the Fig. 4 trend).
+    const CostModel cost;
+    const auto lowEp = cost.moeDevice(deepseekV3(), 64.0, 8.0);
+    const auto highEp = cost.moeDevice(deepseekV3(), 64.0, 1.0);
+    const double lowRatio = lowEp.memoryTime / lowEp.total();
+    const double highRatio = highEp.memoryTime / highEp.total();
+    EXPECT_GT(lowRatio, highRatio);
+}
+
+TEST(CostModel, AttentionPrefillComputeBound)
+{
+    const CostModel cost;
+    const double prefill = cost.attentionTime(qwen3(), 2048, 4, 4096,
+                                              Stage::Prefill);
+    EXPECT_GT(prefill, 0.0);
+}
+
+TEST(CostModel, AttentionDecodeScalesWithContext)
+{
+    const CostModel cost;
+    const double shortCtx =
+        cost.attentionTime(qwen3(), 256, 4, 1024, Stage::Decode);
+    const double longCtx =
+        cost.attentionTime(qwen3(), 256, 4, 8192, Stage::Decode);
+    EXPECT_GT(longCtx, shortCtx);
+}
+
+TEST(CostModel, AttentionTpSplitsWork)
+{
+    const CostModel cost;
+    const double tp1 =
+        cost.attentionTime(qwen3(), 256, 1, 4096, Stage::Decode);
+    const double tp8 =
+        cost.attentionTime(qwen3(), 256, 8, 4096, Stage::Decode);
+    EXPECT_GT(tp1, tp8);
+}
+
+TEST(CostModel, AttentionZeroTokensIsFree)
+{
+    const CostModel cost;
+    EXPECT_DOUBLE_EQ(
+        cost.attentionTime(qwen3(), 0, 4, 4096, Stage::Decode), 0.0);
+}
+
+TEST(CostModel, KvCompressionReducesDecodeTime)
+{
+    const CostModel cost;
+    MoEModelConfig heavy = qwen3();
+    heavy.kvCompression = 1.0;
+    MoEModelConfig light = qwen3();
+    light.kvCompression = 0.125;
+    EXPECT_GT(cost.attentionTime(heavy, 256, 4, 4096, Stage::Decode),
+              cost.attentionTime(light, 256, 4, 4096, Stage::Decode));
+}

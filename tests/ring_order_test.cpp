@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Property tests for the grid ring orderings used by TP-group rings.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "mapping/ring_order.hh"
+
+using namespace moentwine;
+
+TEST(GridCycle, SingleCell)
+{
+    const auto c = gridCycle(1, 1);
+    ASSERT_EQ(c.size(), 1u);
+    EXPECT_EQ(maxCycleStep(c), 0);
+}
+
+TEST(GridCycle, LineOfTwo)
+{
+    const auto c = gridCycle(1, 2);
+    ASSERT_EQ(c.size(), 2u);
+    EXPECT_EQ(maxCycleStep(c), 1);
+}
+
+TEST(GridCycle, ZigzagLineStepAtMostTwo)
+{
+    for (const int n : {3, 4, 5, 6, 7, 8, 9, 16}) {
+        const auto c = gridCycle(1, n);
+        EXPECT_EQ(c.size(), std::size_t(n));
+        EXPECT_LE(maxCycleStep(c), 2) << "n=" << n;
+    }
+}
+
+TEST(GridCycle, VerticalLineTransposed)
+{
+    const auto c = gridCycle(5, 1);
+    EXPECT_EQ(c.size(), 5u);
+    EXPECT_LE(maxCycleStep(c), 2);
+    for (const auto &[r, col] : c)
+        EXPECT_EQ(col, 0);
+}
+
+TEST(GridCycle, TwoByTwoIsUnitCycle)
+{
+    const auto c = gridCycle(2, 2);
+    EXPECT_EQ(c.size(), 4u);
+    EXPECT_EQ(maxCycleStep(c), 1);
+}
+
+TEST(GridCycle, PaperExampleFourByFourEntwined)
+{
+    // The 4×4 TP=4 example uses a 2×2 member grid; ER scales each unit
+    // step by the stride 2 → "two-hop entwined rings".
+    const auto c = gridCycle(2, 2);
+    EXPECT_EQ(maxCycleStep(c), 1);
+}
+
+class GridCycleProperty
+    : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(GridCycleProperty, VisitsEveryCellOnce)
+{
+    const auto [m, n] = GetParam();
+    const auto c = gridCycle(m, n);
+    EXPECT_EQ(c.size(), std::size_t(m * n));
+    std::set<GridPos> seen(c.begin(), c.end());
+    EXPECT_EQ(seen.size(), c.size());
+    for (const auto &[r, col] : c) {
+        EXPECT_GE(r, 0);
+        EXPECT_LT(r, m);
+        EXPECT_GE(col, 0);
+        EXPECT_LT(col, n);
+    }
+}
+
+TEST_P(GridCycleProperty, UnitStepsWhenAreaEven)
+{
+    const auto [m, n] = GetParam();
+    if ((m * n) % 2 != 0 || m == 1 || n == 1)
+        GTEST_SKIP() << "unit-step Hamiltonian cycle requires even "
+                        "area and 2-D grid";
+    const auto c = gridCycle(m, n);
+    EXPECT_EQ(maxCycleStep(c), 1);
+}
+
+TEST_P(GridCycleProperty, ConsecutiveStepsBoundedExceptClosure)
+{
+    const auto [m, n] = GetParam();
+    const auto c = gridCycle(m, n);
+    if (c.size() < 2)
+        GTEST_SKIP();
+    // All steps except (possibly) the closing edge stay within 2.
+    for (std::size_t i = 0; i + 1 < c.size(); ++i) {
+        const int step = std::abs(c[i].first - c[i + 1].first) +
+            std::abs(c[i].second - c[i + 1].second);
+        EXPECT_LE(step, 2) << "at index " << i << " of " << m << "x"
+                           << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridCycleProperty,
+    ::testing::Values(std::make_pair(1, 1), std::make_pair(1, 4),
+                      std::make_pair(1, 9), std::make_pair(2, 2),
+                      std::make_pair(2, 3), std::make_pair(2, 4),
+                      std::make_pair(3, 2), std::make_pair(3, 4),
+                      std::make_pair(4, 4), std::make_pair(4, 6),
+                      std::make_pair(3, 3), std::make_pair(5, 5),
+                      std::make_pair(6, 6), std::make_pair(8, 1)));

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the scenario-conditioned workload generator.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "workload/scenario.hh"
+#include "workload/workload.hh"
+
+using namespace moentwine;
+
+// ------------------------------------------------------- scenarios ----
+
+TEST(Scenario, NamesAndOrder)
+{
+    const auto all = allScenarios();
+    ASSERT_EQ(all.size(), 4u);
+    EXPECT_EQ(scenarioName(all[0]), "Chat");
+    EXPECT_EQ(scenarioName(all[1]), "Coding");
+    EXPECT_EQ(scenarioName(all[2]), "Math");
+    EXPECT_EQ(scenarioName(all[3]), "Privacy");
+}
+
+TEST(Scenario, AffinityIsDeterministic)
+{
+    const auto a = scenarioAffinity(ScenarioKind::Math, 3, 64, 1.0, 42);
+    const auto b = scenarioAffinity(ScenarioKind::Math, 3, 64, 1.0, 42);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Scenario, DifferentScenariosDiffer)
+{
+    const auto a = scenarioAffinity(ScenarioKind::Math, 0, 64, 1.0, 42);
+    const auto b = scenarioAffinity(ScenarioKind::Chat, 0, 64, 1.0, 42);
+    EXPECT_NE(a, b);
+}
+
+TEST(Scenario, DifferentLayersDiffer)
+{
+    const auto a = scenarioAffinity(ScenarioKind::Math, 0, 64, 1.0, 42);
+    const auto b = scenarioAffinity(ScenarioKind::Math, 1, 64, 1.0, 42);
+    EXPECT_NE(a, b);
+}
+
+TEST(Scenario, ZipfZeroIsUniform)
+{
+    const auto w = scenarioAffinity(ScenarioKind::Chat, 0, 16, 0.0, 1);
+    for (const double x : w)
+        EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+TEST(Scenario, ZipfSkewsWeights)
+{
+    const auto w = scenarioAffinity(ScenarioKind::Chat, 0, 64, 1.2, 1);
+    const double maxW = *std::max_element(w.begin(), w.end());
+    const double minW = *std::min_element(w.begin(), w.end());
+    EXPECT_GT(maxW / minW, 10.0);
+}
+
+// ---------------------------------------------------- multinomial ----
+
+TEST(Multinomial, CountsSumToDraws)
+{
+    Rng rng(5);
+    const auto counts = sampleMultinomial(rng, {1.0, 2.0, 3.0}, 600);
+    EXPECT_EQ(std::accumulate(counts.begin(), counts.end(), 0), 600);
+}
+
+TEST(Multinomial, ZeroWeightNeverSampled)
+{
+    Rng rng(6);
+    const auto counts =
+        sampleMultinomial(rng, {1.0, 0.0, 1.0}, 10000);
+    EXPECT_EQ(counts[1], 0);
+}
+
+TEST(Multinomial, ProportionsConverge)
+{
+    Rng rng(7);
+    const auto counts = sampleMultinomial(rng, {1.0, 3.0}, 100000);
+    EXPECT_NEAR(counts[1] / 100000.0, 0.75, 0.01);
+}
+
+TEST(Multinomial, ZeroDraws)
+{
+    Rng rng(8);
+    const auto counts = sampleMultinomial(rng, {1.0, 1.0}, 0);
+    EXPECT_EQ(counts[0] + counts[1], 0);
+}
+
+// ------------------------------------------------------ generator ----
+
+TEST(Workload, BalancedAffinityIsUniform)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 32;
+    cfg.mode = GatingMode::Balanced;
+    const WorkloadGenerator gen(cfg);
+    const auto aff = gen.affinity(0, 0);
+    for (const double a : aff)
+        EXPECT_NEAR(a, 1.0 / 32.0, 1e-12);
+}
+
+TEST(Workload, AffinityIsNormalised)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 64;
+    cfg.mode = GatingMode::MixedScenario;
+    const WorkloadGenerator gen(cfg);
+    const auto aff = gen.affinity(100, 0);
+    EXPECT_NEAR(std::accumulate(aff.begin(), aff.end(), 0.0), 1.0,
+                1e-9);
+}
+
+TEST(Workload, SingleScenarioAffinityIsStationary)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 64;
+    cfg.mode = GatingMode::SingleScenario;
+    cfg.scenario = ScenarioKind::Math;
+    const WorkloadGenerator gen(cfg);
+    EXPECT_EQ(gen.affinity(0, 0), gen.affinity(500, 0));
+}
+
+TEST(Workload, MixedScenarioAffinityDrifts)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 64;
+    cfg.mode = GatingMode::MixedScenario;
+    cfg.mixPeriod = 400;
+    const WorkloadGenerator gen(cfg);
+    const auto a = gen.affinity(0, 0);
+    const auto b = gen.affinity(200, 0); // half a period later
+    double delta = 0.0;
+    for (std::size_t e = 0; e < a.size(); ++e)
+        delta += std::abs(a[e] - b[e]);
+    EXPECT_GT(delta, 0.05);
+}
+
+TEST(Workload, MixedScenarioIsCyclic)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 64;
+    cfg.mode = GatingMode::MixedScenario;
+    cfg.mixPeriod = 100;
+    const WorkloadGenerator gen(cfg);
+    const auto a = gen.affinity(0, 0);
+    const auto b = gen.affinity(100, 0);
+    for (std::size_t e = 0; e < a.size(); ++e)
+        EXPECT_NEAR(a[e], b[e], 1e-9);
+}
+
+TEST(Workload, SampleCountsShape)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 32;
+    cfg.topK = 4;
+    WorkloadGenerator gen(cfg);
+    const auto counts = gen.sampleCounts(0, 0, 100, 8);
+    ASSERT_EQ(counts.size(), 8u);
+    for (const auto &row : counts) {
+        ASSERT_EQ(row.size(), 32u);
+        EXPECT_EQ(std::accumulate(row.begin(), row.end(), 0), 400);
+    }
+}
+
+TEST(Workload, SameSeedSameTrace)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 16;
+    cfg.seed = 99;
+    WorkloadGenerator a(cfg);
+    WorkloadGenerator b(cfg);
+    EXPECT_EQ(a.sampleCounts(0, 0, 64, 4), b.sampleCounts(0, 0, 64, 4));
+}
+
+TEST(Workload, ExpertLoadsAggregatesColumns)
+{
+    const std::vector<std::vector<int>> counts{{1, 2, 3}, {4, 5, 6}};
+    const auto loads = WorkloadGenerator::expertLoads(counts, 3);
+    EXPECT_DOUBLE_EQ(loads[0], 5.0);
+    EXPECT_DOUBLE_EQ(loads[1], 7.0);
+    EXPECT_DOUBLE_EQ(loads[2], 9.0);
+}
+
+TEST(Workload, SkewedScenarioLoadsAreImbalanced)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 128;
+    cfg.topK = 8;
+    cfg.mode = GatingMode::SingleScenario;
+    cfg.zipf = 1.0;
+    WorkloadGenerator gen(cfg);
+    const auto counts = gen.sampleCounts(0, 0, 256, 8);
+    const auto loads = WorkloadGenerator::expertLoads(counts, 128);
+    const double mean =
+        std::accumulate(loads.begin(), loads.end(), 0.0) / 128.0;
+    const double peak = *std::max_element(loads.begin(), loads.end());
+    EXPECT_GT(peak / mean, 2.0); // strongly skewed (Fig. 12)
+}
+
+TEST(Workload, BalancedLoadsAreFlat)
+{
+    WorkloadConfig cfg;
+    cfg.numExperts = 128;
+    cfg.topK = 8;
+    cfg.mode = GatingMode::Balanced;
+    WorkloadGenerator gen(cfg);
+    const auto counts = gen.sampleCounts(0, 0, 2048, 8);
+    const auto loads = WorkloadGenerator::expertLoads(counts, 128);
+    const double mean =
+        std::accumulate(loads.begin(), loads.end(), 0.0) / 128.0;
+    const double peak = *std::max_element(loads.begin(), loads.end());
+    EXPECT_LT(peak / mean, 1.3); // only multinomial noise
+}
