@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Simulator-performance benchmark of the route/traffic hot path: times
+ * full engine iterations on a multi-wafer mesh and on a switch cluster,
+ * with the route cache + flow aggregation enabled (the production
+ * configuration) and disabled (the pre-optimisation baseline, kept
+ * behind Topology::disableRouteCache() and EngineConfig::aggregateFlows).
+ *
+ * Emits a stable JSON trajectory to stdout and to BENCH_routing.json so
+ * future PRs have a perf baseline to beat:
+ *   {"bench": ..., "iters_per_sec": ..., "ns_per_route": ...}
+ *
+ * Usage: perf_routing [iterations]   (default 300 cached / 60 baseline)
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Iterations/second of a fresh engine on the given platform. */
+double
+engineThroughput(const Mapping &mapping, const EngineConfig &cfg,
+                 int iterations)
+{
+    InferenceEngine engine(mapping, cfg);
+    // Warm up: builds the route table, dispatch-source memo, and
+    // steady-state scratch capacities outside the timed region.
+    engine.step();
+    engine.step();
+    const auto start = Clock::now();
+    double checksum = 0.0;
+    for (int i = 0; i < iterations; ++i)
+        checksum += engine.step().layerTime(cfg.pipelineStages);
+    const double elapsed = secondsSince(start);
+    if (checksum < 0.0)
+        std::printf("impossible\n"); // keep the loop observable
+    return static_cast<double>(iterations) / elapsed;
+}
+
+/** Average wall-clock nanoseconds of one route(src, dst) lookup. */
+double
+nsPerRouteLookup(const Topology &topo, int samples)
+{
+    const int devices = topo.numDevices();
+    long hopsSum = 0;
+    DeviceId a = 0;
+    const auto start = Clock::now();
+    for (int i = 0; i < samples; ++i) {
+        const DeviceId b = (a * 31 + 17) % devices;
+        hopsSum += static_cast<long>(topo.route(a, b).size());
+        a = (a + 1) % devices;
+    }
+    const double elapsed = secondsSince(start);
+    if (hopsSum < 0)
+        std::printf("impossible\n");
+    return elapsed * 1e9 / static_cast<double>(samples);
+}
+
+struct BenchResult
+{
+    std::string bench;
+    double itersPerSec = 0.0;
+    double nsPerRoute = 0.0;
+    double baselineItersPerSec = 0.0;
+    double baselineNsPerRoute = 0.0;
+
+    double speedup() const
+    {
+        return baselineItersPerSec > 0.0
+            ? itersPerSec / baselineItersPerSec
+            : 0.0;
+    }
+};
+
+/**
+ * Run one platform in both modes. The topology is taken non-const so
+ * the no-cache test hook can be toggled around the baseline run.
+ */
+BenchResult
+runPlatform(const std::string &label, Topology &topo,
+            const Mapping &mapping, EngineConfig cfg, int iters)
+{
+    BenchResult r;
+    r.bench = label;
+
+    // Cached + aggregated (production) configuration.
+    topo.enableRouteCache();
+    cfg.aggregateFlows = true;
+    r.itersPerSec = engineThroughput(mapping, cfg, iters);
+    r.nsPerRoute = nsPerRouteLookup(topo, 200000);
+
+    // Baseline: per-query route derivation, per-triple flow lists.
+    topo.disableRouteCache();
+    cfg.aggregateFlows = false;
+    const int baseIters = std::max(10, iters / 5);
+    r.baselineItersPerSec = engineThroughput(mapping, cfg, baseIters);
+    r.baselineNsPerRoute = nsPerRouteLookup(topo, 20000);
+    topo.enableRouteCache();
+
+    std::printf("%-24s cached %8.1f it/s | baseline %8.1f it/s | "
+                "speedup %5.2fx | route %6.1f ns vs %8.1f ns\n",
+                r.bench.c_str(), r.itersPerSec, r.baselineItersPerSec,
+                r.speedup(), r.nsPerRoute, r.baselineNsPerRoute);
+    return r;
+}
+
+std::string
+toJson(const std::vector<BenchResult> &results)
+{
+    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v1\",\n"
+                      "  \"results\": [\n";
+    char buf[512];
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        std::snprintf(
+            buf, sizeof(buf),
+            "    {\"bench\": \"%s\", \"iters_per_sec\": %.1f, "
+            "\"ns_per_route\": %.1f, \"baseline_iters_per_sec\": %.1f, "
+            "\"baseline_ns_per_route\": %.1f, \"speedup\": %.2f}%s\n",
+            r.bench.c_str(), r.itersPerSec, r.nsPerRoute,
+            r.baselineItersPerSec, r.baselineNsPerRoute, r.speedup(),
+            i + 1 < results.size() ? "," : "");
+        out += buf;
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int iters = 300;
+    if (argc > 1) {
+        iters = std::atoi(argv[1]);
+        if (iters <= 0) {
+            std::fprintf(stderr,
+                         "usage: perf_routing [iterations>0] (got '%s')\n",
+                         argv[1]);
+            return 2;
+        }
+    }
+
+    // Fig. 16-style serving workload: decode iterations over a drifting
+    // scenario mixture, which keeps gating (and therefore the flow set)
+    // changing every iteration.
+    EngineConfig cfg;
+    cfg.model = qwen3();
+    cfg.schedule = SchedulingMode::DecodeOnly;
+    cfg.decodeTokensPerGroup = 128;
+    cfg.workload.mode = GatingMode::MixedScenario;
+    cfg.workload.mixPeriod = 60;
+    cfg.balancer = BalancerKind::TopologyAware;
+    cfg.alpha = 0.5;
+    cfg.beta = 5;
+
+    std::vector<BenchResult> results;
+
+    {
+        // Multi-wafer mesh (fig13d-style): two 8x8 wafers, HER-Mapping.
+        MeshTopology mesh = MeshTopology::waferRow(2, 8);
+        const HierarchicalErMapping her(mesh, ParallelismConfig{2, 4});
+        results.push_back(
+            runPlatform("wsc_2x(8x8)_her", mesh, her, cfg, iters));
+    }
+    {
+        // Switch cluster (fig16 GPU baseline): 4-node DGX, TP=4.
+        SwitchClusterTopology dgx = SwitchClusterTopology::dgx(4);
+        const ClusterMapping cm(dgx, 4);
+        results.push_back(
+            runPlatform("dgx_4node_tp4", dgx, cm, cfg, iters));
+    }
+
+    const std::string json = toJson(results);
+    std::printf("\n%s", json.c_str());
+
+    if (std::FILE *f = std::fopen("BENCH_routing.json", "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote BENCH_routing.json\n");
+    } else {
+        std::fprintf(stderr, "could not write BENCH_routing.json\n");
+        return 1;
+    }
+    return 0;
+}

@@ -71,7 +71,10 @@ InferenceEngine::InferenceEngine(const Mapping &mapping,
                  cfg.shadowSlots),
       emaLoads_(static_cast<std::size_t>(cfg.model.expertsTotal), 0.0),
       trigger_(cfg.alpha,
-               cfg.balancer == BalancerKind::NonInvasive ? 0 : cfg.beta)
+               cfg.balancer == BalancerKind::NonInvasive ? 0 : cfg.beta),
+      a2aTraffic_(mapping.topology()),
+      dispTraffic_(mapping.topology()),
+      combTraffic_(mapping.topology())
 {
     switch (cfg.balancer) {
       case BalancerKind::None:
@@ -146,34 +149,38 @@ InferenceEngine::step()
     stats.allReduce = ar.time;
 
     // --- Gating -----------------------------------------------------------
-    const auto counts =
-        workload_.sampleCounts(iteration_, 0, tokens, mapping_.dp());
-    const auto expertLoads = WorkloadGenerator::expertLoads(
-        counts, cfg_.model.expertsTotal);
+    workload_.sampleCountsInto(iteration_, 0, tokens, mapping_.dp(),
+                               countsScratch_);
 
     // --- MoE phase ---------------------------------------------------------
-    PhaseTraffic a2aTraffic(mapping_.topology());
-    std::vector<double> deviceTokens;
+    a2aTraffic_.clear();
+    const std::vector<double> *expertLoads = nullptr;
+    const std::vector<double> *deviceTokens = nullptr;
     if (cfg_.esp) {
         // Expert-sharding: tokens stay in their FTD; experts are sliced
         // across the FTD's devices; partial sums are all-reduced inside
         // each domain.
+        WorkloadGenerator::expertLoadsInto(
+            countsScratch_, cfg_.model.expertsTotal, expertLoadsScratch_);
+        expertLoads = &expertLoadsScratch_;
         const double numFtds =
             static_cast<double>(mapping_.ftds().size());
         const double ftdSize =
             static_cast<double>(mapping_.ftds().front().size());
         const double perFtdTokens =
             static_cast<double>(mapping_.dp()) * tokens / numFtds;
-        std::vector<std::vector<DeviceId>> rings;
-        rings.reserve(mapping_.ftds().size());
-        for (const auto &ftd : mapping_.ftds())
-            rings.push_back(serpentineRing(mapping_.topology(), ftd));
+        if (espRings_.empty()) {
+            espRings_.reserve(mapping_.ftds().size());
+            for (const auto &ftd : mapping_.ftds())
+                espRings_.push_back(
+                    serpentineRing(mapping_.topology(), ftd));
+        }
         CollectiveTiming epAr =
-            ringCollective(mapping_.topology(), rings,
+            ringCollective(mapping_.topology(), espRings_,
                            perFtdTokens * tokenBytes, RingOp::AllReduce,
                            mapping_.staggeredRings());
         stats.epAllReduce = epAr.time;
-        a2aTraffic.merge(epAr.traffic);
+        a2aTraffic_.merge(epAr.traffic);
 
         const double perDeviceTokens =
             perFtdTokens * cfg_.model.expertsActivated / ftdSize;
@@ -184,28 +191,28 @@ InferenceEngine::step()
         stats.moeTime = c.total();
         stats.moeComputeOnly = c.computeTime;
         stats.moeMemoryOnly = c.memoryTime;
-        deviceTokens.assign(
+        espTokensScratch_.assign(
             static_cast<std::size_t>(mapping_.numDevices()),
             perDeviceTokens);
+        deviceTokens = &espTokensScratch_;
     } else {
-        const RoutedTraffic routed =
-            routeTokens(mapping_, placement_, counts, tokenBytes,
-                        cfg_.retainAllGather,
-                        cfg_.model.expertsActivated);
-        CollectiveTiming disp =
-            allToAll(mapping_.topology(), routed.dispatch);
-        CollectiveTiming comb =
-            allToAll(mapping_.topology(), routed.combine);
-        stats.dispatch = disp.time;
-        stats.combine = comb.time;
-        a2aTraffic.merge(disp.traffic);
-        a2aTraffic.merge(comb.traffic);
+        routeTokens(mapping_, placement_, countsScratch_, tokenBytes,
+                    cfg_.retainAllGather, cfg_.model.expertsActivated,
+                    routedScratch_, cfg_.aggregateFlows);
+        expertLoads = &routedScratch_.expertLoads;
+        stats.dispatch =
+            allToAllInto(routedScratch_.dispatch, dispTraffic_);
+        stats.combine =
+            allToAllInto(routedScratch_.combine, combTraffic_);
+        a2aTraffic_.merge(dispTraffic_);
+        a2aTraffic_.merge(combTraffic_);
 
         for (DeviceId d = 0; d < mapping_.numDevices(); ++d) {
             const MoeDeviceCost c = cost_.moeDevice(
                 cfg_.model,
-                routed.tokensPerDevice[static_cast<std::size_t>(d)],
-                routed.activeExpertsPerDevice[
+                routedScratch_
+                    .tokensPerDevice[static_cast<std::size_t>(d)],
+                routedScratch_.activeExpertsPerDevice[
                     static_cast<std::size_t>(d)]);
             if (c.total() > stats.moeTime) {
                 stats.moeTime = c.total();
@@ -213,23 +220,23 @@ InferenceEngine::step()
                 stats.moeMemoryOnly = c.memoryTime;
             }
         }
-        deviceTokens = routed.tokensPerDevice;
+        deviceTokens = &routedScratch_.tokensPerDevice;
     }
 
     // --- Load statistics ---------------------------------------------------
     double sum = 0.0;
-    for (const double t : deviceTokens) {
+    for (const double t : *deviceTokens) {
         stats.loadMax = std::max(stats.loadMax, t);
         sum += t;
     }
-    stats.loadAvg = sum / static_cast<double>(deviceTokens.size());
+    stats.loadAvg = sum / static_cast<double>(deviceTokens->size());
     stats.imbalance = stats.loadAvg > 0.0
         ? (stats.loadMax - stats.loadAvg) / stats.loadAvg
         : 0.0;
 
     // --- Expert-load prediction (EMA) ---------------------------------------
     for (std::size_t e = 0; e < emaLoads_.size(); ++e) {
-        emaLoads_[e] = cfg_.emaAlpha * expertLoads[e] +
+        emaLoads_[e] = cfg_.emaAlpha * (*expertLoads)[e] +
             (1.0 - cfg_.emaAlpha) * emaLoads_[e];
     }
 
@@ -274,7 +281,7 @@ InferenceEngine::step()
         stats.migrationsCompleted =
             nonInvasive_->advanceAttention(ar.traffic, attnWindow,
                                            placement_) +
-            nonInvasive_->advanceMoe(a2aTraffic, moeWindow, placement_);
+            nonInvasive_->advanceMoe(a2aTraffic_, moeWindow, placement_);
         stats.migrationsPending =
             static_cast<int>(nonInvasive_->pendingCount());
     }

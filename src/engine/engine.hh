@@ -29,9 +29,11 @@
 #include "balancer/balancer.hh"
 #include "balancer/ni_balancer.hh"
 #include "balancer/placement.hh"
+#include "engine/token_router.hh"
 #include "mapping/mapping.hh"
 #include "model/cost_model.hh"
 #include "model/moe_config.hh"
+#include "network/traffic.hh"
 #include "workload/workload.hh"
 
 namespace moentwine {
@@ -92,6 +94,12 @@ struct EngineConfig
     int beta = 10;
     /** EMA factor for expert-load prediction. */
     double emaAlpha = 0.3;
+    /**
+     * Aggregate dispatch/combine flows into the per-(src, dst) byte
+     * matrix before the all-to-all (the fast path). Disable only to
+     * measure the pre-aggregation baseline in bench/perf_routing.
+     */
+    bool aggregateFlows = true;
     /** Gating / workload regime (expert count and top-k are taken from
      *  the model, not from this sub-config). */
     WorkloadConfig workload{};
@@ -189,6 +197,18 @@ class InferenceEngine
     std::unique_ptr<Balancer> invasive_;
     std::unique_ptr<NiBalancer> nonInvasive_;
     int iteration_ = 0;
+
+    // Per-iteration scratch, reused across step() calls so the hot
+    // path performs no steady-state allocation.
+    std::vector<std::vector<int>> countsScratch_;
+    std::vector<double> expertLoadsScratch_;
+    std::vector<double> espTokensScratch_;
+    RoutedTraffic routedScratch_;
+    PhaseTraffic a2aTraffic_;
+    PhaseTraffic dispTraffic_;
+    PhaseTraffic combTraffic_;
+    // Serpentine FTD rings for ESP mode, built once (FTDs are fixed).
+    std::vector<std::vector<DeviceId>> espRings_;
 };
 
 } // namespace moentwine

@@ -4,23 +4,25 @@
 
 namespace moentwine {
 
-RoutedTraffic
-routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
-            const std::vector<std::vector<int>> &counts, double tokenBytes,
-            bool retainAllGather, int topk)
+namespace {
+
+/**
+ * Emit dispatch/combine flows for one routed token batch. The
+ * aggregated path accumulates per-(src, dst) bytes into out.pairBytes;
+ * the legacy path appends one flow per (group, rank, replica) triple.
+ */
+void
+accumulateFlows(const Mapping &mapping, const ExpertPlacement &placement,
+                const std::vector<std::vector<int>> &counts,
+                double tokenBytes, bool retainAllGather, int topk,
+                RoutedTraffic &out, bool aggregate)
 {
     const int devices = mapping.numDevices();
     const int tp = mapping.tp();
-    MOE_ASSERT(counts.size() == static_cast<std::size_t>(mapping.dp()),
-               "counts must have one row per DP group");
-    MOE_ASSERT(placement.numDevices() == devices,
-               "placement/mapping device count mismatch");
-
-    RoutedTraffic out;
-    out.tokensPerDevice.assign(static_cast<std::size_t>(devices), 0.0);
-    out.activeExpertsPerDevice.assign(static_cast<std::size_t>(devices),
-                                      0);
-
+    // When the source choice ignores the shard rank, the tp identical
+    // per-shard contributions collapse into one per-replica volume.
+    const bool collapseRanks = aggregate &&
+        mapping.dispatchSourceRankInvariant(retainAllGather);
     for (int g = 0; g < mapping.dp(); ++g) {
         const auto &row = counts[static_cast<std::size_t>(g)];
         MOE_ASSERT(row.size() ==
@@ -38,12 +40,23 @@ routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
             for (const DeviceId dev : replicas) {
                 out.tokensPerDevice[static_cast<std::size_t>(dev)] +=
                     perReplica;
-                for (int r = 0; r < tp; ++r) {
-                    const DeviceId src = mapping.dispatchSource(
+                const int ranks = collapseRanks ? 1 : tp;
+                const double perRank = collapseRanks ? perReplica
+                                                    : perShard;
+                for (int r = 0; r < ranks; ++r) {
+                    const DeviceId src = mapping.dispatchSourceCached(
                         g, r, dev, retainAllGather);
-                    const double bytes = perShard * tokenBytes *
+                    const double bytes = perRank * tokenBytes *
                         mapping.dispatchDedupFactor(src, dev, topk);
-                    if (src != dev && bytes > 0.0) {
+                    if (src == dev || bytes <= 0.0)
+                        continue;
+                    if (aggregate) {
+                        out.pairBytes[static_cast<std::size_t>(src) *
+                                          static_cast<std::size_t>(
+                                              devices) +
+                                      static_cast<std::size_t>(dev)] +=
+                            bytes;
+                    } else {
                         out.dispatch.push_back(Flow{src, dev, bytes});
                         out.combine.push_back(Flow{dev, src, bytes});
                     }
@@ -51,19 +64,85 @@ routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
             }
         }
     }
+}
 
-    // Active experts per device (for weight-streaming time).
+} // namespace
+
+void
+routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
+            const std::vector<std::vector<int>> &counts, double tokenBytes,
+            bool retainAllGather, int topk, RoutedTraffic &out,
+            bool aggregate)
+{
+    const int devices = mapping.numDevices();
+    MOE_ASSERT(counts.size() == static_cast<std::size_t>(mapping.dp()),
+               "counts must have one row per DP group");
+    MOE_ASSERT(placement.numDevices() == devices,
+               "placement/mapping device count mismatch");
+
+    out.dispatch.clear();
+    out.combine.clear();
+    out.tokensPerDevice.assign(static_cast<std::size_t>(devices), 0.0);
+    out.activeExpertsPerDevice.assign(static_cast<std::size_t>(devices),
+                                      0);
+    if (aggregate) {
+        out.pairBytes.assign(static_cast<std::size_t>(devices) *
+                                 static_cast<std::size_t>(devices),
+                             0.0);
+    } else {
+        out.pairBytes.clear();
+    }
+
+    // Per-expert total loads, computed once (the active-expert scan
+    // below and the engine's EMA both read them).
+    out.expertLoads.assign(
+        static_cast<std::size_t>(placement.numExperts()), 0.0);
+    for (const auto &row : counts) {
+        MOE_ASSERT(row.size() == out.expertLoads.size(),
+                   "counts row width must equal expert count");
+        for (std::size_t e = 0; e < row.size(); ++e)
+            out.expertLoads[e] += row[e];
+    }
+
+    accumulateFlows(mapping, placement, counts, tokenBytes,
+                    retainAllGather, topk, out, aggregate);
+
+    if (aggregate) {
+        // Materialise at most devices² flows from the byte matrix;
+        // combine mirrors dispatch (same bytes, reversed direction).
+        std::size_t p = 0;
+        for (DeviceId s = 0; s < devices; ++s) {
+            for (DeviceId d = 0; d < devices; ++d, ++p) {
+                const double bytes = out.pairBytes[p];
+                if (bytes <= 0.0)
+                    continue;
+                out.dispatch.push_back(Flow{s, d, bytes});
+                out.combine.push_back(Flow{d, s, bytes});
+            }
+        }
+    }
+
+    // Active experts per device (for weight-streaming time), answered
+    // from the precomputed per-expert loads instead of rescanning the
+    // counts matrix per hosted expert.
     for (DeviceId d = 0; d < devices; ++d) {
         int active = 0;
         for (const int e : placement.expertsOn(d)) {
-            double load = 0.0;
-            for (const auto &row : counts)
-                load += row[static_cast<std::size_t>(e)];
-            if (load > 0.0)
+            if (out.expertLoads[static_cast<std::size_t>(e)] > 0.0)
                 ++active;
         }
         out.activeExpertsPerDevice[static_cast<std::size_t>(d)] = active;
     }
+}
+
+RoutedTraffic
+routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
+            const std::vector<std::vector<int>> &counts, double tokenBytes,
+            bool retainAllGather, int topk)
+{
+    RoutedTraffic out;
+    routeTokens(mapping, placement, counts, tokenBytes, retainAllGather,
+                topk, out);
     return out;
 }
 

@@ -7,10 +7,17 @@
  * Tokens of a DP group are spread uniformly over the group's TP shard
  * ranks; tokens selecting an expert are split evenly across its
  * replicas (the shadow-expert sharing rule of Fig. 7(a)). Each
- * (group, rank, replica) triple contributes one dispatch flow from the
- * mapping's dispatch source to the replica device, and one combine flow
+ * (group, rank, replica) triple contributes dispatch volume from the
+ * mapping's dispatch source to the replica device, and combine volume
  * back. Dispatch carries the FP16 hidden activation of every routed
  * token; combine carries the expert output of the same width.
+ *
+ * Because the congestion model only depends on per-(src, dst) volumes,
+ * the router aggregates the O(dp · experts · replicas · tp) logical
+ * transfers into a dense devices×devices byte matrix and materialises
+ * at most devices² dispatch flows (combine is the transpose). The
+ * unaggregated per-triple flow list is kept behind an `aggregate`
+ * toggle for equivalence tests and the no-cache perf baseline.
  */
 
 #ifndef MOENTWINE_ENGINE_TOKEN_ROUTER_HH
@@ -35,10 +42,19 @@ struct RoutedTraffic
     std::vector<double> tokensPerDevice;
     /** Hosted experts receiving at least one token, per device. */
     std::vector<int> activeExpertsPerDevice;
+    /**
+     * Aggregated dispatch bytes, row-major src×devices+dst (combine is
+     * the transpose). Populated only on the aggregated path.
+     */
+    std::vector<double> pairBytes;
+    /** Per-expert total token counts summed over DP groups. */
+    std::vector<double> expertLoads;
 };
 
 /**
- * Route one layer's gated tokens.
+ * Route one layer's gated tokens into @p out, reusing its buffers
+ * (the engine's per-iteration hot path: no allocation once the
+ * buffers reached steady-state capacity).
  *
  * @param mapping    Parallelism mapping (dispatch-source rule, TP/DP).
  * @param placement  Current expert placement.
@@ -48,7 +64,18 @@ struct RoutedTraffic
  *        (nearest-source dispatch) or not (owner-only dispatch).
  * @param topk       Experts activated per token (hierarchical-A2A
  *        dedup on switch clusters; ignored by mesh mappings).
+ * @param out        Result; cleared and refilled.
+ * @param aggregate  Collapse flows into the per-(src, dst) matrix
+ *        (default). When false, emit one flow per
+ *        (group, rank, replica) triple — the pre-aggregation
+ *        behaviour, kept for equivalence tests and baselines.
  */
+void routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
+                 const std::vector<std::vector<int>> &counts,
+                 double tokenBytes, bool retainAllGather, int topk,
+                 RoutedTraffic &out, bool aggregate = true);
+
+/** Convenience wrapper returning a fresh RoutedTraffic. */
 RoutedTraffic routeTokens(const Mapping &mapping,
                           const ExpertPlacement &placement,
                           const std::vector<std::vector<int>> &counts,

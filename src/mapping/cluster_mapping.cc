@@ -50,12 +50,20 @@ ClusterMapping::dispatchDedupFactor(DeviceId src, DeviceId dst,
     // heading to the same remote node cross the inter-node fabric once.
     // Expected distinct nodes touched per token is N·(1−(1−1/N)^k);
     // naive volume is k copies, so the cross-node volume shrinks by
-    // the ratio of the two.
+    // the ratio of the two. The factor depends only on topk, which is
+    // constant within a serving run, so the pow() is memoised — the
+    // token router queries this once per (group, rank, replica) on its
+    // per-iteration hot path.
     const double n = cluster_.spec().numNodes;
     if (n <= 1.0)
         return 1.0;
-    const double distinct = n * (1.0 - std::pow(1.0 - 1.0 / n, topk));
-    return std::min(1.0, distinct / static_cast<double>(topk));
+    if (topk != cachedTopk_) {
+        const double distinct =
+            n * (1.0 - std::pow(1.0 - 1.0 / n, topk));
+        cachedCross_ = std::min(1.0, distinct / static_cast<double>(topk));
+        cachedTopk_ = topk;
+    }
+    return cachedCross_;
 }
 
 } // namespace moentwine

@@ -44,6 +44,9 @@ class ClusterMapping : public Mapping
 
   private:
     const SwitchClusterTopology &cluster_;
+    // Memo for the cross-node dedup factor (depends only on topk).
+    mutable int cachedTopk_ = -1;
+    mutable double cachedCross_ = 1.0;
 };
 
 } // namespace moentwine

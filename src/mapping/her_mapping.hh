@@ -47,6 +47,12 @@ class HierarchicalErMapping : public Mapping
     DeviceId dispatchSource(int group, int rank, DeviceId expertDevice,
                             bool allGatherRetained) const override;
 
+    /** Sources are per-wafer mirrors of the rank owner: rank matters. */
+    bool dispatchSourceRankInvariant(bool) const override
+    {
+        return false;
+    }
+
     /** Mirror of device @p d on wafer @p wafer (same local coordinate). */
     DeviceId mirrorOn(DeviceId d, int wafer) const;
 

@@ -94,6 +94,32 @@ Mapping::dispatchSource(int group, int rank, DeviceId expertDevice,
     return nearestGroupMember(group, expertDevice);
 }
 
+DeviceId
+Mapping::dispatchSourceCached(int group, int rank, DeviceId expertDevice,
+                              bool allGatherRetained) const
+{
+    auto &table = allGatherRetained ? dispatchSrcAg_ : dispatchSrcNoAg_;
+    const auto devices = static_cast<std::size_t>(numDevices());
+    if (table.empty()) {
+        table.resize(static_cast<std::size_t>(dp()) *
+                     static_cast<std::size_t>(tp()) * devices);
+        std::size_t i = 0;
+        for (int g = 0; g < dp(); ++g)
+            for (int r = 0; r < tp(); ++r)
+                for (DeviceId d = 0; d < numDevices(); ++d, ++i)
+                    table[i] = dispatchSource(g, r, d, allGatherRetained);
+    }
+    MOE_ASSERT(group >= 0 && group < dp(), "bad TP group index");
+    MOE_ASSERT(rank >= 0 && rank < tp(), "bad shard rank");
+    MOE_ASSERT(expertDevice >= 0 && expertDevice < numDevices(),
+               "bad expert device");
+    return table[(static_cast<std::size_t>(group) *
+                      static_cast<std::size_t>(tp()) +
+                  static_cast<std::size_t>(rank)) *
+                     devices +
+                 static_cast<std::size_t>(expertDevice)];
+}
+
 double
 Mapping::dispatchDedupFactor(DeviceId, DeviceId, int) const
 {

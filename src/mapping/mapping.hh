@@ -103,6 +103,31 @@ class Mapping
                                     bool allGatherRetained) const;
 
     /**
+     * Memoised dispatchSource(): identical result, answered from a
+     * lazily built (group, rank, destination) table so the token
+     * router's per-iteration hot path performs no route walks and no
+     * allocation. Mappings are immutable after construction, so the
+     * table never invalidates.
+     */
+    DeviceId dispatchSourceCached(int group, int rank,
+                                  DeviceId expertDevice,
+                                  bool allGatherRetained) const;
+
+    /**
+     * True when dispatchSource() ignores the shard rank under the
+     * given all-gather mode (with the all-gather retained, every group
+     * member holds every shard, so the chosen source depends only on
+     * the destination). The token router's aggregated path collapses
+     * its TP-rank loop into one contribution per replica when this
+     * holds. Mappings with rank-dependent sources (HER's per-wafer
+     * mirrors) must override to return false.
+     */
+    virtual bool dispatchSourceRankInvariant(bool allGatherRetained) const
+    {
+        return allGatherRetained;
+    }
+
+    /**
      * Whether dispatch sources are confined to the destination's FTD.
      * ER-style mappings return true: every FTD holds exactly one
      * member of every TP group, and serving from it keeps all-to-all
@@ -152,6 +177,11 @@ class Mapping
     std::vector<int> groupOf_;
     std::vector<int> rankOf_;
     std::vector<int> ftdIndexOf_;
+    // dispatchSource memo, one table per allGatherRetained value,
+    // indexed [(group · tp + rank) · devices + destination]; built on
+    // first dispatchSourceCached() call with that flag.
+    mutable std::vector<DeviceId> dispatchSrcAg_;
+    mutable std::vector<DeviceId> dispatchSrcNoAg_;
 };
 
 } // namespace moentwine

@@ -19,17 +19,14 @@ roundsFor(RingOp op, int p)
 /**
  * Per-round serialisation cost of forwarding one chunk between
  * consecutive ring members: store-and-forward over every link of the
- * deterministic route, volume term only.
+ * deterministic route, volume term only. O(1) from the route cache's
+ * per-pair Σ 1/bandwidth.
  */
 double
 edgeVolumeCost(const Topology &topo, DeviceId src, DeviceId dst,
                double chunk)
 {
-    double time = 0.0;
-    for (const LinkId l : topo.route(src, dst))
-        time += chunk / topo.links()[static_cast<std::size_t>(l)]
-                            .bandwidth;
-    return time;
+    return chunk * topo.pathInvBandwidthSum(src, dst);
 }
 
 } // namespace
@@ -129,9 +126,16 @@ CollectiveTiming
 allToAll(const Topology &topo, const std::vector<Flow> &flows)
 {
     PhaseTraffic traffic(topo);
-    traffic.addFlows(flows);
-    const double time = traffic.phaseTime();
+    const double time = allToAllInto(flows, traffic);
     return CollectiveTiming{time, std::move(traffic)};
+}
+
+double
+allToAllInto(const std::vector<Flow> &flows, PhaseTraffic &traffic)
+{
+    traffic.clear();
+    traffic.addFlows(flows);
+    return traffic.phaseTime();
 }
 
 } // namespace moentwine

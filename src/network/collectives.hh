@@ -89,6 +89,14 @@ CollectiveTiming hierarchicalAllReduce(const Topology &topo,
 CollectiveTiming allToAll(const Topology &topo,
                           const std::vector<Flow> &flows);
 
+/**
+ * Allocation-free all-to-all: clears @p traffic (which keeps its
+ * volume buffer), accumulates @p flows into it, and returns the phase
+ * time. The engine reuses one PhaseTraffic per phase across
+ * iterations through this entry point.
+ */
+double allToAllInto(const std::vector<Flow> &flows, PhaseTraffic &traffic);
+
 } // namespace moentwine
 
 #endif // MOENTWINE_NETWORK_COLLECTIVES_HH

@@ -12,19 +12,24 @@ flowTime(const Topology &topo, DeviceId src, DeviceId dst, double bytes)
 {
     if (src == dst)
         return 0.0;
-    const auto path = topo.route(src, dst);
-    double time = 0.0;
-    // Eq.(1): each hop stores and forwards the full payload.
-    for (LinkId l : path) {
-        const Link &link = topo.links()[static_cast<std::size_t>(l)];
-        time += bytes / link.bandwidth + link.latency;
-    }
-    return time;
+    // Eq.(1): each hop stores and forwards the full payload, so the
+    // total is bytes × Σ 1/bw plus the summed link latencies — both
+    // precomputed per pair by the route cache.
+    return bytes * topo.pathInvBandwidthSum(src, dst) +
+        topo.pathLatency(src, dst);
 }
 
 PhaseTraffic::PhaseTraffic(const Topology &topo)
     : topo_(topo), volume_(topo.links().size(), 0.0)
 {
+}
+
+void
+PhaseTraffic::clear()
+{
+    std::fill(volume_.begin(), volume_.end(), 0.0);
+    maxPathLatency_ = 0.0;
+    totalFlowBytes_ = 0.0;
 }
 
 void
@@ -44,7 +49,7 @@ PhaseTraffic::addFlows(const std::vector<Flow> &flows)
 }
 
 void
-PhaseTraffic::addPath(const std::vector<LinkId> &path, double bytes)
+PhaseTraffic::addPath(PathView path, double bytes)
 {
     double pathLatency = 0.0;
     for (LinkId l : path) {

@@ -42,7 +42,8 @@ struct Flow
 
 /**
  * Eq.(1) store-and-forward latency of a single transfer along the
- * topology's deterministic route.
+ * topology's deterministic route. Answered from the route cache's
+ * per-pair scalars without walking links.
  */
 double flowTime(const Topology &topo, DeviceId src, DeviceId dst,
                 double bytes);
@@ -56,6 +57,12 @@ class PhaseTraffic
     /** Construct an empty phase over @p topo (not owned, must outlive). */
     explicit PhaseTraffic(const Topology &topo);
 
+    /**
+     * Reset to an empty phase, keeping the volume buffer allocated so
+     * the engine can reuse one instance across iterations.
+     */
+    void clear();
+
     /** Add a flow routed deterministically by the topology. */
     void addFlow(DeviceId src, DeviceId dst, double bytes);
 
@@ -63,7 +70,13 @@ class PhaseTraffic
     void addFlows(const std::vector<Flow> &flows);
 
     /** Add volume along an explicit link path (collective steps). */
-    void addPath(const std::vector<LinkId> &path, double bytes);
+    void addPath(PathView path, double bytes);
+
+    /** Add volume along an explicit link path (vector convenience). */
+    void addPath(const std::vector<LinkId> &path, double bytes)
+    {
+        addPath(PathView(path.data(), path.size()), bytes);
+    }
 
     /** Merge another phase's per-link volumes into this one. */
     void merge(const PhaseTraffic &other);

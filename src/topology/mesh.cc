@@ -63,7 +63,7 @@ MeshTopology::waferRow(int wafers, int n)
 }
 
 std::vector<LinkId>
-MeshTopology::route(DeviceId src, DeviceId dst) const
+MeshTopology::computeRoute(DeviceId src, DeviceId dst) const
 {
     MOE_ASSERT(src >= 0 && src < numDevices(), "route: bad src device");
     MOE_ASSERT(dst >= 0 && dst < numDevices(), "route: bad dst device");

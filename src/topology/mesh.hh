@@ -89,7 +89,8 @@ class MeshTopology : public Topology
 
     int numDevices() const override { return rows_ * cols_; }
 
-    std::vector<LinkId> route(DeviceId src, DeviceId dst) const override;
+    std::vector<LinkId> computeRoute(DeviceId src,
+                                     DeviceId dst) const override;
 
     std::string name() const override;
 

@@ -1,0 +1,72 @@
+#include "topology/topology.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+void
+RouteTable::build(const Topology &topo)
+{
+    const int devices = topo.numDevices();
+    MOE_ASSERT(devices > 0, "route table over an empty topology");
+    devices_ = devices;
+
+    const auto pairs = static_cast<std::size_t>(devices) *
+        static_cast<std::size_t>(devices);
+    offsets_.assign(pairs + 1, 0);
+    latency_.assign(pairs, 0.0);
+    minBw_.assign(pairs, 0.0);
+    invBwSum_.assign(pairs, 0.0);
+    paths_.clear();
+    // Arena size is the sum of all-pairs hop counts; one hop per pair
+    // is a safe floor that avoids most of the regrowth during build.
+    paths_.reserve(pairs);
+
+    const auto &links = topo.links();
+    std::size_t p = 0;
+    for (DeviceId src = 0; src < devices; ++src) {
+        for (DeviceId dst = 0; dst < devices; ++dst, ++p) {
+            const auto path = topo.computeRoute(src, dst);
+            double lat = 0.0;
+            double invBw = 0.0;
+            double minBw = path.empty()
+                ? 0.0
+                : std::numeric_limits<double>::infinity();
+            for (const LinkId l : path) {
+                const Link &link = links[static_cast<std::size_t>(l)];
+                lat += link.latency;
+                invBw += 1.0 / link.bandwidth;
+                minBw = std::min(minBw, link.bandwidth);
+                paths_.push_back(l);
+            }
+            offsets_[p + 1] = paths_.size();
+            latency_[p] = lat;
+            minBw_[p] = minBw;
+            invBwSum_[p] = invBw;
+        }
+    }
+    built_ = true;
+}
+
+void
+RouteTable::disableCache()
+{
+    disabled_ = true;
+    built_ = false;
+    devices_ = 0;
+    offsets_.clear();
+    offsets_.shrink_to_fit();
+    paths_.clear();
+    paths_.shrink_to_fit();
+    latency_.clear();
+    latency_.shrink_to_fit();
+    minBw_.clear();
+    minBw_.shrink_to_fit();
+    invBwSum_.clear();
+    invBwSum_.shrink_to_fit();
+}
+
+} // namespace moentwine

@@ -63,7 +63,7 @@ SwitchClusterTopology::nvl72()
 }
 
 std::vector<LinkId>
-SwitchClusterTopology::route(DeviceId src, DeviceId dst) const
+SwitchClusterTopology::computeRoute(DeviceId src, DeviceId dst) const
 {
     MOE_ASSERT(src >= 0 && src < numDevices(), "route: bad src device");
     MOE_ASSERT(dst >= 0 && dst < numDevices(), "route: bad dst device");

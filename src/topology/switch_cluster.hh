@@ -65,7 +65,8 @@ class SwitchClusterTopology : public Topology
 
     int numNodes() const override { return totalNodes_; }
 
-    std::vector<LinkId> route(DeviceId src, DeviceId dst) const override;
+    std::vector<LinkId> computeRoute(DeviceId src,
+                                     DeviceId dst) const override;
 
     std::string name() const override;
 

@@ -6,42 +6,93 @@
 
 namespace moentwine {
 
+PathView
+Topology::route(DeviceId src, DeviceId dst) const
+{
+    if (routes_.disabled()) {
+        uncachedScratch_ = computeRoute(src, dst);
+        return PathView(uncachedScratch_.data(), uncachedScratch_.size());
+    }
+    ensureRoutes();
+    return routes_.path(src, dst);
+}
+
 int
 Topology::hops(DeviceId src, DeviceId dst) const
 {
-    return static_cast<int>(route(src, dst).size());
+    if (routes_.disabled())
+        return static_cast<int>(computeRoute(src, dst).size());
+    ensureRoutes();
+    return routes_.hops(src, dst);
 }
 
 double
 Topology::pathLatency(DeviceId src, DeviceId dst) const
 {
-    double total = 0.0;
-    for (LinkId l : route(src, dst))
-        total += links_[static_cast<std::size_t>(l)].latency;
-    return total;
+    if (routes_.disabled()) {
+        double total = 0.0;
+        for (LinkId l : computeRoute(src, dst))
+            total += links_[static_cast<std::size_t>(l)].latency;
+        return total;
+    }
+    ensureRoutes();
+    return routes_.latency(src, dst);
 }
 
 double
 Topology::pathBandwidth(DeviceId src, DeviceId dst) const
 {
-    const auto path = route(src, dst);
-    MOE_ASSERT(!path.empty(), "pathBandwidth of a zero-hop route");
-    double bw = links_[static_cast<std::size_t>(path.front())].bandwidth;
-    for (LinkId l : path)
-        bw = std::min(bw, links_[static_cast<std::size_t>(l)].bandwidth);
+    if (routes_.disabled()) {
+        const auto path = computeRoute(src, dst);
+        MOE_ASSERT(!path.empty(), "pathBandwidth of a zero-hop route");
+        double bw = links_[static_cast<std::size_t>(path.front())].bandwidth;
+        for (LinkId l : path)
+            bw = std::min(bw, links_[static_cast<std::size_t>(l)].bandwidth);
+        return bw;
+    }
+    ensureRoutes();
+    const double bw = routes_.minBandwidth(src, dst);
+    MOE_ASSERT(bw > 0.0, "pathBandwidth of a zero-hop route");
     return bw;
+}
+
+double
+Topology::pathInvBandwidthSum(DeviceId src, DeviceId dst) const
+{
+    if (routes_.disabled()) {
+        double total = 0.0;
+        for (LinkId l : computeRoute(src, dst))
+            total += 1.0 / links_[static_cast<std::size_t>(l)].bandwidth;
+        return total;
+    }
+    ensureRoutes();
+    return routes_.invBandwidthSum(src, dst);
+}
+
+const RouteTable &
+Topology::routeTable() const
+{
+    MOE_ASSERT(!routes_.disabled(),
+               "routeTable() while the cache is disabled");
+    ensureRoutes();
+    return routes_;
+}
+
+void
+Topology::ensureRoutes() const
+{
+    if (!routes_.built() && !routes_.disabled())
+        routes_.build(*this);
 }
 
 LinkId
 Topology::linkBetween(NodeId src, NodeId dst) const
 {
-    if (src < 0 || static_cast<std::size_t>(src) >= outLinks_.size())
+    if (src < 0 || static_cast<std::size_t>(src) >= outIndex_.size())
         return -1;
-    for (LinkId l : outLinks_[static_cast<std::size_t>(src)]) {
-        if (links_[static_cast<std::size_t>(l)].dst == dst)
-            return l;
-    }
-    return -1;
+    const auto &index = outIndex_[static_cast<std::size_t>(src)];
+    const auto it = index.find(dst);
+    return it == index.end() ? -1 : it->second;
 }
 
 LinkId
@@ -53,9 +104,11 @@ Topology::addLink(NodeId src, NodeId dst, double bandwidth, double latency)
     const auto id = static_cast<LinkId>(links_.size());
     links_.push_back(Link{src, dst, bandwidth, latency});
     const auto need = static_cast<std::size_t>(src) + 1;
-    if (outLinks_.size() < need)
-        outLinks_.resize(need);
-    outLinks_[static_cast<std::size_t>(src)].push_back(id);
+    if (outIndex_.size() < need)
+        outIndex_.resize(need);
+    const bool inserted =
+        outIndex_[static_cast<std::size_t>(src)].emplace(dst, id).second;
+    MOE_ASSERT(inserted, "duplicate directed link");
     return id;
 }
 

@@ -9,12 +9,21 @@
  * Routing is deterministic: route(src, dst) always returns the same link
  * sequence, which is what lets the analytical congestion model accumulate
  * per-link traffic volumes reproducibly.
+ *
+ * Because routes are deterministic and topologies immutable after
+ * construction, all-pairs routes are computed once into a RouteTable (a
+ * flat CSR-style arena) and every subsequent route(), hops(),
+ * pathLatency() and pathBandwidth() query is a non-allocating table
+ * lookup. Concrete topologies implement computeRoute(); consumers use
+ * the cached route() which returns a borrowed PathView into the arena.
  */
 
 #ifndef MOENTWINE_TOPOLOGY_TOPOLOGY_HH
 #define MOENTWINE_TOPOLOGY_TOPOLOGY_HH
 
+#include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace moentwine {
@@ -39,7 +48,132 @@ struct Link
 };
 
 /**
+ * Non-owning view of a deterministic route: a contiguous LinkId range
+ * borrowed from the owning topology's route arena (or, with the route
+ * cache disabled, from a per-topology scratch buffer that the next
+ * route() call overwrites). Valid while the topology is alive and, on
+ * the uncached path, only until the next route() call.
+ */
+class PathView
+{
+  public:
+    using value_type = LinkId;
+    using const_iterator = const LinkId *;
+
+    PathView() = default;
+
+    PathView(const LinkId *data, std::size_t size)
+        : data_(data), size_(size)
+    {
+    }
+
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    LinkId operator[](std::size_t i) const { return data_[i]; }
+    LinkId front() const { return data_[0]; }
+    LinkId back() const { return data_[size_ - 1]; }
+
+  private:
+    const LinkId *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+class Topology;
+
+/**
+ * All-pairs route cache over the compute devices of a topology.
+ *
+ * Paths are stored back to back in one arena vector indexed by a
+ * (src, dst) offset table (CSR layout), so a route lookup is two loads
+ * and no allocation. Per-pair scalars answer the Eq.(1) ingredients
+ * without re-walking links:
+ *  - latency(): sum of per-link latencies along the route;
+ *  - minBandwidth(): bottleneck link bandwidth;
+ *  - invBandwidthSum(): Σ 1/bw over the route's links, so the
+ *    store-and-forward volume term of Eq.(1) is bytes × invBandwidthSum.
+ */
+class RouteTable
+{
+  public:
+    /** Precompute all-pairs routes by calling topo.computeRoute(). */
+    void build(const Topology &topo);
+
+    /** True once build() has run (and the cache is not disabled). */
+    bool built() const { return built_; }
+
+    /**
+     * Test hook: drop the table and make built() stay false so the
+     * owning topology falls back to computeRoute() on every query.
+     * Used by bench/perf_routing to measure the no-cache baseline.
+     */
+    void disableCache();
+
+    /** Re-enable caching after disableCache() (table rebuilds lazily). */
+    void enableCache() { disabled_ = false; }
+
+    /** True while the test hook holds the cache off. */
+    bool disabled() const { return disabled_; }
+
+    /** Cached route; empty when src == dst. */
+    PathView path(DeviceId src, DeviceId dst) const
+    {
+        const std::size_t p = pairIndex(src, dst);
+        const std::size_t begin = offsets_[p];
+        return PathView(paths_.data() + begin, offsets_[p + 1] - begin);
+    }
+
+    /** Hop count of the cached route. */
+    int hops(DeviceId src, DeviceId dst) const
+    {
+        const std::size_t p = pairIndex(src, dst);
+        return static_cast<int>(offsets_[p + 1] - offsets_[p]);
+    }
+
+    /** Sum of per-link latencies along the cached route. */
+    double latency(DeviceId src, DeviceId dst) const
+    {
+        return latency_[pairIndex(src, dst)];
+    }
+
+    /** Bottleneck bandwidth of the cached route (0 for zero-hop). */
+    double minBandwidth(DeviceId src, DeviceId dst) const
+    {
+        return minBw_[pairIndex(src, dst)];
+    }
+
+    /** Σ 1/bandwidth over the cached route's links. */
+    double invBandwidthSum(DeviceId src, DeviceId dst) const
+    {
+        return invBwSum_[pairIndex(src, dst)];
+    }
+
+  private:
+    std::size_t pairIndex(DeviceId src, DeviceId dst) const
+    {
+        return static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(devices_) +
+               static_cast<std::size_t>(dst);
+    }
+
+    int devices_ = 0;
+    bool built_ = false;
+    bool disabled_ = false;
+    std::vector<std::size_t> offsets_;
+    std::vector<LinkId> paths_;
+    std::vector<double> latency_;
+    std::vector<double> minBw_;
+    std::vector<double> invBwSum_;
+};
+
+/**
  * Base class for all network topologies.
+ *
+ * Route queries are served from a lazily built RouteTable; the class is
+ * therefore not safe for concurrent first use from multiple threads.
  */
 class Topology
 {
@@ -56,10 +190,19 @@ class Topology
     const std::vector<Link> &links() const { return links_; }
 
     /**
-     * Deterministic route between two compute devices.
+     * Deterministic route between two compute devices, freshly derived
+     * (allocates). Consumers should prefer the cached route().
      * @return Link indices in traversal order; empty when src == dst.
      */
-    virtual std::vector<LinkId> route(DeviceId src, DeviceId dst) const = 0;
+    virtual std::vector<LinkId> computeRoute(DeviceId src,
+                                             DeviceId dst) const = 0;
+
+    /**
+     * Deterministic route between two compute devices, answered from
+     * the all-pairs cache without allocating.
+     * @return Borrowed link-id view; empty when src == dst.
+     */
+    PathView route(DeviceId src, DeviceId dst) const;
 
     /** Hop count of the deterministic route (0 when src == dst). */
     int hops(DeviceId src, DeviceId dst) const;
@@ -70,14 +213,34 @@ class Topology
     /** Minimum link bandwidth along the deterministic route. */
     double pathBandwidth(DeviceId src, DeviceId dst) const;
 
+    /**
+     * Σ 1/bandwidth over the deterministic route's links: the Eq.(1)
+     * store-and-forward volume term per byte (0 when src == dst).
+     */
+    double pathInvBandwidthSum(DeviceId src, DeviceId dst) const;
+
     /** Human-readable topology name for bench output. */
     virtual std::string name() const = 0;
 
     /**
      * Index of the directed link src→dst, or -1 when the two nodes are
-     * not directly connected.
+     * not directly connected. O(1) hash lookup.
      */
     LinkId linkBetween(NodeId src, NodeId dst) const;
+
+    /** The all-pairs route cache (built on first use). */
+    const RouteTable &routeTable() const;
+
+    /**
+     * Test hook: route every query through computeRoute() instead of
+     * the cache (bench/perf_routing's no-cache baseline). The scratch-
+     * backed PathView returned by route() in this mode is invalidated
+     * by the next route() call on this topology.
+     */
+    void disableRouteCache() { routes_.disableCache(); }
+
+    /** Undo disableRouteCache(); the table rebuilds on next query. */
+    void enableRouteCache() { routes_.enableCache(); }
 
   protected:
     /** Append a link and register it in the adjacency index. */
@@ -86,9 +249,16 @@ class Topology
     std::vector<Link> links_;
 
   private:
-    // (src, dst) → link id map, linear-scanned per src bucket; adjacency
-    // degree is tiny (≤ 5 for meshes, ≤ numNodes for switches).
-    std::vector<std::vector<LinkId>> outLinks_;
+    /** Build the route table if it is absent and caching is enabled. */
+    void ensureRoutes() const;
+
+    // Per-source dst → link-id adjacency index (O(1) linkBetween).
+    std::vector<std::unordered_map<NodeId, LinkId>> outIndex_;
+
+    // Lazily built all-pairs cache; mutable so const queries can build.
+    mutable RouteTable routes_;
+    // Backing storage for route() views while the cache is disabled.
+    mutable std::vector<LinkId> uncachedScratch_;
 };
 
 } // namespace moentwine

@@ -7,6 +7,58 @@
 
 namespace moentwine {
 
+void
+AliasTable::build(const std::vector<double> &weights)
+{
+    const std::size_t n = weights.size();
+    MOE_ASSERT(n > 0, "alias table over empty weights");
+    double total = 0.0;
+    for (const double w : weights) {
+        MOE_ASSERT(w >= 0.0, "negative weight");
+        total += w;
+    }
+    MOE_ASSERT(total > 0.0, "weights sum to zero");
+
+    prob_.resize(n);
+    alias_.resize(n);
+    small_.clear();
+    large_.clear();
+    const double scale = static_cast<double>(n) / total;
+    for (std::size_t i = 0; i < n; ++i) {
+        prob_[i] = weights[i] * scale;
+        alias_[i] = i;
+        (prob_[i] < 1.0 ? small_ : large_).push_back(i);
+    }
+    while (!small_.empty() && !large_.empty()) {
+        const std::size_t s = small_.back();
+        small_.pop_back();
+        const std::size_t l = large_.back();
+        large_.pop_back();
+        alias_[s] = l;
+        prob_[l] = (prob_[l] + prob_[s]) - 1.0;
+        (prob_[l] < 1.0 ? small_ : large_).push_back(l);
+    }
+    // Floating-point residue: leftover slots carry full probability.
+    // Zero-weight categories can never be left over (their mass is
+    // exactly 0, so a large partner always remains), so this cannot
+    // make an impossible category samplable.
+    for (const std::size_t l : large_)
+        prob_[l] = 1.0;
+    for (const std::size_t s : small_)
+        prob_[s] = 1.0;
+}
+
+std::size_t
+AliasTable::sample(Rng &rng) const
+{
+    const double scaled = rng.uniform() * static_cast<double>(prob_.size());
+    std::size_t idx = static_cast<std::size_t>(scaled);
+    if (idx >= prob_.size())
+        idx = prob_.size() - 1;
+    const double frac = scaled - static_cast<double>(idx);
+    return frac < prob_[idx] ? idx : alias_[idx];
+}
+
 WorkloadGenerator::WorkloadGenerator(const WorkloadConfig &cfg)
     : cfg_(cfg), rng_(cfg.seed)
 {
@@ -52,22 +104,28 @@ WorkloadGenerator::mixtureWeights(int iteration) const
     return mix;
 }
 
-std::vector<double>
-WorkloadGenerator::affinity(int iteration, int layer) const
+void
+WorkloadGenerator::affinityInto(int iteration, int layer,
+                                std::vector<double> &weights) const
 {
-    std::vector<double> weights(
-        static_cast<std::size_t>(cfg_.numExperts), 0.0);
+    weights.assign(static_cast<std::size_t>(cfg_.numExperts), 0.0);
     if (cfg_.mode == GatingMode::Balanced) {
         std::fill(weights.begin(), weights.end(), 1.0);
     } else {
         const auto scenarios = allScenarios();
+        if (cachedLayer_ != layer) {
+            scenarioBase_.clear();
+            scenarioBase_.reserve(scenarios.size());
+            for (const ScenarioKind s : scenarios)
+                scenarioBase_.push_back(scenarioAffinity(
+                    s, layer, cfg_.numExperts, cfg_.zipf, cfg_.seed));
+            cachedLayer_ = layer;
+        }
         const auto mix = mixtureWeights(iteration);
         for (std::size_t s = 0; s < scenarios.size(); ++s) {
             if (mix[s] <= 0.0)
                 continue;
-            const auto base = scenarioAffinity(scenarios[s], layer,
-                                               cfg_.numExperts, cfg_.zipf,
-                                               cfg_.seed);
+            const auto &base = scenarioBase_[s];
             for (std::size_t e = 0; e < weights.size(); ++e)
                 weights[e] += mix[s] * base[e];
         }
@@ -78,6 +136,13 @@ WorkloadGenerator::affinity(int iteration, int layer) const
     MOE_ASSERT(total > 0.0, "degenerate affinity");
     for (double &w : weights)
         w /= total;
+}
+
+std::vector<double>
+WorkloadGenerator::affinity(int iteration, int layer) const
+{
+    std::vector<double> weights;
+    affinityInto(iteration, layer, weights);
     return weights;
 }
 
@@ -85,36 +150,66 @@ std::vector<std::vector<int>>
 WorkloadGenerator::sampleCounts(int iteration, int layer,
                                 int tokensPerGroup, int dpGroups)
 {
+    std::vector<std::vector<int>> counts;
+    sampleCountsInto(iteration, layer, tokensPerGroup, dpGroups, counts);
+    return counts;
+}
+
+void
+WorkloadGenerator::sampleCountsInto(int iteration, int layer,
+                                    int tokensPerGroup, int dpGroups,
+                                    std::vector<std::vector<int>> &counts)
+{
     MOE_ASSERT(tokensPerGroup >= 0, "negative token count");
     MOE_ASSERT(dpGroups > 0, "dpGroups must be positive");
-    const auto weights = affinity(iteration, layer);
-    std::vector<std::vector<int>> counts;
-    counts.reserve(static_cast<std::size_t>(dpGroups));
+
+    // Rebuild the alias table only when the affinity changed: every
+    // iteration under a drifting mixture, once per layer otherwise.
+    const bool drifting = cfg_.mode == GatingMode::MixedScenario;
+    if (alias_.size() == 0 || layer != aliasLayer_ ||
+        (drifting && iteration != aliasIteration_)) {
+        affinityInto(iteration, layer, affinityScratch_);
+        alias_.build(affinityScratch_);
+        aliasIteration_ = iteration;
+        aliasLayer_ = layer;
+    }
+
+    counts.resize(static_cast<std::size_t>(dpGroups));
     const int draws = tokensPerGroup * cfg_.topK;
-    for (int g = 0; g < dpGroups; ++g)
-        counts.push_back(sampleMultinomial(rng_, weights, draws));
-    return counts;
+    for (auto &row : counts) {
+        row.assign(alias_.size(), 0);
+        for (int d = 0; d < draws; ++d)
+            ++row[alias_.sample(rng_)];
+    }
 }
 
 std::vector<double>
 WorkloadGenerator::expertLoads(const std::vector<std::vector<int>> &counts,
                                int numExperts)
 {
-    std::vector<double> loads(static_cast<std::size_t>(numExperts), 0.0);
+    std::vector<double> loads;
+    expertLoadsInto(counts, numExperts, loads);
+    return loads;
+}
+
+void
+WorkloadGenerator::expertLoadsInto(
+    const std::vector<std::vector<int>> &counts, int numExperts,
+    std::vector<double> &loads)
+{
+    loads.assign(static_cast<std::size_t>(numExperts), 0.0);
     for (const auto &row : counts) {
         MOE_ASSERT(row.size() == loads.size(),
                    "counts row width mismatch");
         for (std::size_t e = 0; e < row.size(); ++e)
             loads[e] += row[e];
     }
-    return loads;
 }
 
 std::vector<int>
 sampleMultinomial(Rng &rng, const std::vector<double> &weights, int draws)
 {
     MOE_ASSERT(!weights.empty(), "empty weight vector");
-    MOE_ASSERT(draws >= 0, "negative draw count");
     std::vector<double> cdf(weights.size());
     double acc = 0.0;
     for (std::size_t i = 0; i < weights.size(); ++i) {
@@ -124,17 +219,28 @@ sampleMultinomial(Rng &rng, const std::vector<double> &weights, int draws)
     }
     MOE_ASSERT(acc > 0.0, "weights sum to zero");
 
-    std::vector<int> counts(weights.size(), 0);
+    std::vector<int> counts;
+    sampleMultinomialFromCdf(rng, cdf, acc, draws, counts);
+    return counts;
+}
+
+void
+sampleMultinomialFromCdf(Rng &rng, const std::vector<double> &cdf,
+                         double total, int draws, std::vector<int> &counts)
+{
+    MOE_ASSERT(!cdf.empty(), "empty CDF");
+    MOE_ASSERT(total > 0.0, "CDF total must be positive");
+    MOE_ASSERT(draws >= 0, "negative draw count");
+    counts.assign(cdf.size(), 0);
     for (int d = 0; d < draws; ++d) {
-        const double r = rng.uniform() * acc;
+        const double r = rng.uniform() * total;
         const auto it = std::upper_bound(cdf.begin(), cdf.end(), r);
         const auto idx = static_cast<std::size_t>(
             std::min<std::ptrdiff_t>(it - cdf.begin(),
                                      static_cast<std::ptrdiff_t>(
-                                         weights.size() - 1)));
+                                         cdf.size() - 1)));
         ++counts[idx];
     }
-    return counts;
 }
 
 } // namespace moentwine

@@ -36,6 +36,32 @@ enum class GatingMode
     MixedScenario,  ///< drifting mixture of all scenarios
 };
 
+/**
+ * Walker/Vose alias table: O(n) build, O(1) exact multinomial draws.
+ * The per-iteration gating sampler is the simulator's hottest loop
+ * (tokens × top-k draws per DP group), so draws must not pay the
+ * O(log n) CDF binary search.
+ */
+class AliasTable
+{
+  public:
+    /** Build from unnormalised non-negative weights (Σ > 0). */
+    void build(const std::vector<double> &weights);
+
+    /** Draw one index, consuming one uniform from @p rng. */
+    std::size_t sample(Rng &rng) const;
+
+    /** Number of categories (0 before the first build). */
+    std::size_t size() const { return prob_.size(); }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<std::size_t> alias_;
+    // Build worklists, kept to avoid per-build allocation.
+    std::vector<std::size_t> small_;
+    std::vector<std::size_t> large_;
+};
+
 /** Workload generator configuration. */
 struct WorkloadConfig
 {
@@ -83,9 +109,23 @@ class WorkloadGenerator
                                                int tokensPerGroup,
                                                int dpGroups);
 
+    /**
+     * In-place variant of sampleCounts() for the engine's per-iteration
+     * hot path: @p counts is resized and refilled, reusing row storage
+     * across calls. Produces the identical trace for identical calls.
+     */
+    void sampleCountsInto(int iteration, int layer, int tokensPerGroup,
+                          int dpGroups,
+                          std::vector<std::vector<int>> &counts);
+
     /** Aggregate expert loads (column sums of sampleCounts output). */
     static std::vector<double> expertLoads(
         const std::vector<std::vector<int>> &counts, int numExperts);
+
+    /** In-place variant of expertLoads() (reuses @p loads storage). */
+    static void expertLoadsInto(
+        const std::vector<std::vector<int>> &counts, int numExperts,
+        std::vector<double> &loads);
 
     /** The configuration in use. */
     const WorkloadConfig &config() const { return cfg_; }
@@ -94,8 +134,24 @@ class WorkloadGenerator
     /** Mixture weight of each scenario at the given iteration. */
     std::vector<double> mixtureWeights(int iteration) const;
 
+    /** Compute affinity() into @p weights, reusing cached scenario
+     *  base affinities (they depend only on the layer). */
+    void affinityInto(int iteration, int layer,
+                      std::vector<double> &weights) const;
+
     WorkloadConfig cfg_;
     Rng rng_;
+    // Per-scenario base affinities for cachedLayer_, built lazily so
+    // per-iteration sampling does not recompute the Zipf tables.
+    mutable int cachedLayer_ = -1;
+    mutable std::vector<std::vector<double>> scenarioBase_;
+    // Scratch affinity plus the alias table sampleCountsInto() draws
+    // from; the table is rebuilt only when the affinity changes (every
+    // iteration in MixedScenario mode, once per layer otherwise).
+    std::vector<double> affinityScratch_;
+    AliasTable alias_;
+    int aliasIteration_ = -1;
+    int aliasLayer_ = -1;
 };
 
 /**
@@ -106,6 +162,15 @@ class WorkloadGenerator
 std::vector<int> sampleMultinomial(Rng &rng,
                                    const std::vector<double> &weights,
                                    int draws);
+
+/**
+ * Allocation-lean multinomial core: draw @p draws samples against a
+ * prebuilt inclusive CDF whose final value is @p total, writing
+ * per-index counts into @p counts (assigned, storage reused).
+ */
+void sampleMultinomialFromCdf(Rng &rng, const std::vector<double> &cdf,
+                              double total, int draws,
+                              std::vector<int> &counts);
 
 } // namespace moentwine
 

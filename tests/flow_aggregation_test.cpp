@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Property tests for token-router flow aggregation: collapsing the
+ * per-(group, rank, replica) flow list into the per-(src, dst) byte
+ * matrix must preserve every quantity the congestion model reads —
+ * per-link volumes (totalByteHops, maxLinkVolume), injected bytes,
+ * per-device token loads, and per-expert loads. Also checks that a
+ * full engine run is invariant under the cache/aggregation toggles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/moentwine.hh"
+
+using namespace moentwine;
+
+namespace {
+
+std::vector<std::vector<int>>
+skewedCounts(WorkloadGenerator &gen, int groups, int tokens)
+{
+    return gen.sampleCounts(7, 0, tokens, groups);
+}
+
+void
+expectAggregationPreservesTraffic(const Mapping &mapping,
+                                  const ExpertPlacement &placement,
+                                  const std::vector<std::vector<int>>
+                                      &counts,
+                                  int topk)
+{
+    RoutedTraffic agg;
+    routeTokens(mapping, placement, counts, 1024.0, true, topk, agg,
+                true);
+    RoutedTraffic flat;
+    routeTokens(mapping, placement, counts, 1024.0, true, topk, flat,
+                false);
+
+    // Aggregation can only shrink the flow list.
+    EXPECT_LE(agg.dispatch.size(), flat.dispatch.size());
+
+    // Per-device token loads and expert loads are identical.
+    ASSERT_EQ(agg.tokensPerDevice.size(), flat.tokensPerDevice.size());
+    for (std::size_t d = 0; d < agg.tokensPerDevice.size(); ++d)
+        EXPECT_NEAR(agg.tokensPerDevice[d], flat.tokensPerDevice[d],
+                    1e-9);
+    ASSERT_EQ(agg.expertLoads.size(), flat.expertLoads.size());
+    for (std::size_t e = 0; e < agg.expertLoads.size(); ++e)
+        EXPECT_DOUBLE_EQ(agg.expertLoads[e], flat.expertLoads[e]);
+    EXPECT_EQ(agg.activeExpertsPerDevice, flat.activeExpertsPerDevice);
+
+    // The congestion model sees the same per-link volumes.
+    PhaseTraffic aggTraffic(mapping.topology());
+    aggTraffic.addFlows(agg.dispatch);
+    aggTraffic.addFlows(agg.combine);
+    PhaseTraffic flatTraffic(mapping.topology());
+    flatTraffic.addFlows(flat.dispatch);
+    flatTraffic.addFlows(flat.combine);
+
+    const double scale = 1.0 + flatTraffic.totalByteHops();
+    EXPECT_NEAR(aggTraffic.totalByteHops(), flatTraffic.totalByteHops(),
+                1e-9 * scale);
+    EXPECT_NEAR(aggTraffic.maxLinkVolume(), flatTraffic.maxLinkVolume(),
+                1e-9 * scale);
+    EXPECT_NEAR(aggTraffic.totalFlowBytes(),
+                flatTraffic.totalFlowBytes(), 1e-9 * scale);
+    EXPECT_NEAR(aggTraffic.maxPathLatency(),
+                flatTraffic.maxPathLatency(), 1e-15);
+    for (std::size_t l = 0; l < mapping.topology().links().size(); ++l)
+        EXPECT_NEAR(aggTraffic.linkVolume(static_cast<LinkId>(l)),
+                    flatTraffic.linkVolume(static_cast<LinkId>(l)),
+                    1e-9 * scale);
+}
+
+} // namespace
+
+TEST(FlowAggregation, MeshErMappingPreservesTraffic)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const ErMapping er(mesh, ParallelismConfig{2, 2});
+    ExpertPlacement p(32, 16, 1);
+    p.addReplica(0, 5);
+    WorkloadConfig wc;
+    wc.numExperts = 32;
+    wc.topK = 4;
+    wc.mode = GatingMode::MixedScenario;
+    WorkloadGenerator gen(wc);
+    expectAggregationPreservesTraffic(
+        er, p, skewedCounts(gen, er.dp(), 64), wc.topK);
+}
+
+TEST(FlowAggregation, MultiWaferHerMappingPreservesTraffic)
+{
+    const MeshTopology mesh = MeshTopology::waferRow(2, 4);
+    const HierarchicalErMapping her(mesh, ParallelismConfig{2, 2});
+    const ExpertPlacement p(64, 32, 0);
+    WorkloadConfig wc;
+    wc.numExperts = 64;
+    wc.topK = 8;
+    wc.mode = GatingMode::SingleScenario;
+    WorkloadGenerator gen(wc);
+    expectAggregationPreservesTraffic(
+        her, p, skewedCounts(gen, her.dp(), 32), wc.topK);
+}
+
+TEST(FlowAggregation, SwitchClusterDedupPreservesTraffic)
+{
+    const SwitchClusterTopology dgx = SwitchClusterTopology::dgx(2);
+    const ClusterMapping cm(dgx, 4);
+    const ExpertPlacement p(32, 16, 0);
+    WorkloadConfig wc;
+    wc.numExperts = 32;
+    wc.topK = 8;
+    wc.mode = GatingMode::MixedScenario;
+    WorkloadGenerator gen(wc);
+    expectAggregationPreservesTraffic(
+        cm, p, skewedCounts(gen, cm.dp(), 48), wc.topK);
+}
+
+TEST(FlowAggregation, PairBytesMatrixMatchesFlowList)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(4);
+    const ErMapping er(mesh, ParallelismConfig{2, 2});
+    const ExpertPlacement p(16, 16, 0);
+    WorkloadConfig wc;
+    wc.numExperts = 16;
+    wc.topK = 2;
+    WorkloadGenerator gen(wc);
+    RoutedTraffic agg;
+    routeTokens(er, p, skewedCounts(gen, er.dp(), 64), 512.0, true,
+                wc.topK, agg, true);
+
+    const int devices = mesh.numDevices();
+    ASSERT_EQ(agg.pairBytes.size(),
+              static_cast<std::size_t>(devices) * devices);
+    double matrixTotal = 0.0;
+    for (const double b : agg.pairBytes)
+        matrixTotal += b;
+    double flowTotal = 0.0;
+    for (const Flow &f : agg.dispatch) {
+        flowTotal += f.bytes;
+        EXPECT_DOUBLE_EQ(
+            agg.pairBytes[std::size_t(f.src) * std::size_t(devices) +
+                          std::size_t(f.dst)],
+            f.bytes);
+    }
+    EXPECT_DOUBLE_EQ(matrixTotal, flowTotal);
+}
+
+TEST(FlowAggregation, EngineInvariantUnderPerfToggles)
+{
+    // One engine on the fast path, one with the route cache disabled
+    // and aggregation off: identical simulated timelines.
+    auto makeConfig = [] {
+        EngineConfig ec;
+        ec.model = qwen3();
+        ec.decodeTokensPerGroup = 32;
+        ec.workload.mode = GatingMode::MixedScenario;
+        ec.workload.mixPeriod = 20;
+        ec.balancer = BalancerKind::TopologyAware;
+        ec.alpha = 0.5;
+        ec.beta = 2;
+        return ec;
+    };
+
+    MeshTopology fastMesh = MeshTopology::singleWafer(4);
+    const ErMapping fastEr(fastMesh, ParallelismConfig{2, 2});
+    InferenceEngine fast(fastEr, makeConfig());
+
+    MeshTopology slowMesh = MeshTopology::singleWafer(4);
+    slowMesh.disableRouteCache();
+    const ErMapping slowEr(slowMesh, ParallelismConfig{2, 2});
+    EngineConfig slowCfg = makeConfig();
+    slowCfg.aggregateFlows = false;
+    InferenceEngine slow(slowEr, slowCfg);
+
+    for (int i = 0; i < 20; ++i) {
+        const IterationStats a = fast.step();
+        const IterationStats b = slow.step();
+        EXPECT_NEAR(a.layerTime(4), b.layerTime(4),
+                    1e-9 * (1.0 + b.layerTime(4)))
+            << "iteration " << i;
+        EXPECT_NEAR(a.dispatch, b.dispatch, 1e-9 * (1.0 + b.dispatch));
+        EXPECT_NEAR(a.combine, b.combine, 1e-9 * (1.0 + b.combine));
+        EXPECT_NEAR(a.imbalance, b.imbalance, 1e-9);
+        EXPECT_EQ(a.migrationsPlanned, b.migrationsPlanned);
+    }
+}
