@@ -7,56 +7,78 @@
  * Expected shape: WSC beats DGX on every model (~50%+); ER-Mapping
  * adds a further win that grows with the number of activated experts,
  * and may lose on Mixtral (2 activated experts, all-reduce-heavy).
+ *
+ * Runs on the SweepRunner model × platform grid (`--jobs N`); the
+ * three systems are built once and shared read-only across workers.
  */
 
 #include <cstdio>
 
 #include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
 
 using namespace moentwine;
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("== Fig. 13(b): communication latency across models "
                 "==\n\n");
     const int tokens = 256;
 
-    SystemConfig dgxCfg;
-    dgxCfg.platform = PlatformKind::DgxCluster;
-    dgxCfg.dgxNodes = 4;
-    dgxCfg.tp = 4;
-    const System dgx = System::make(dgxCfg);
+    SweepGrid grid;
+    grid.models = allModels();
+    {
+        SystemConfig sc;
+        sc.platform = PlatformKind::DgxCluster;
+        sc.dgxNodes = 4;
+        sc.tp = 4;
+        grid.systems.push_back(sc); // 0: GPU baseline
+        sc.platform = PlatformKind::WscBaseline;
+        sc.meshN = 6;
+        grid.systems.push_back(sc); // 1: WSC baseline mapping
+        sc.platform = PlatformKind::WscEr;
+        grid.systems.push_back(sc); // 2: WSC ER-Mapping
+    }
 
-    SystemConfig wscCfg;
-    wscCfg.platform = PlatformKind::WscBaseline;
-    wscCfg.meshN = 6;
-    wscCfg.tp = 4;
-    const System wsc = System::make(wscCfg);
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [&](const SweepCell &cell) {
+        const MoEModelConfig &model = cell.point.modelConfig();
+        const auto comm = evaluateCommunication(
+            cell.system->mapping(), model, tokens, true);
 
-    SystemConfig erCfg = wscCfg;
-    erCfg.platform = PlatformKind::WscEr;
-    const System er = System::make(erCfg);
+        SweepResult row;
+        row.label = model.name + " | " + cell.system->name();
+        row.add("ar_us", comm.allReduce * 1e6);
+        row.add("dispatch_us", comm.dispatch * 1e6);
+        row.add("combine_us", comm.combine * 1e6);
+        row.add("total_us", comm.total() * 1e6);
+        return row;
+    });
 
     Table t({"model", "GPU AR", "GPU A2A", "WSC AR", "WSC A2A",
              "ER AR", "ER A2A", "WSC vs GPU", "ER vs WSC"});
-    for (const auto &model : allModels()) {
-        const auto g =
-            evaluateCommunication(dgx.mapping(), model, tokens, true);
-        const auto w =
-            evaluateCommunication(wsc.mapping(), model, tokens, true);
-        const auto e =
-            evaluateCommunication(er.mapping(), model, tokens, true);
-        t.addRow({model.name, Table::num(g.allReduce * 1e6, 1),
-                  Table::num(g.allToAll() * 1e6, 1),
-                  Table::num(w.allReduce * 1e6, 1),
-                  Table::num(w.allToAll() * 1e6, 1),
-                  Table::num(e.allReduce * 1e6, 1),
-                  Table::num(e.allToAll() * 1e6, 1),
-                  Table::pct(1.0 - w.total() / g.total()),
-                  Table::pct(1.0 - e.total() / w.total())});
+    for (std::size_t m = 0; m < grid.models.size(); ++m) {
+        const SweepResult &g = rows[grid.at(static_cast<int>(m), 0)];
+        const SweepResult &w = rows[grid.at(static_cast<int>(m), 1)];
+        const SweepResult &e = rows[grid.at(static_cast<int>(m), 2)];
+        const auto a2aOf = [](const SweepResult &r) {
+            return r.metric("dispatch_us") + r.metric("combine_us");
+        };
+        t.addRow({grid.models[m].name, Table::num(g.metric("ar_us"), 1),
+                  Table::num(a2aOf(g), 1),
+                  Table::num(w.metric("ar_us"), 1),
+                  Table::num(a2aOf(w), 1),
+                  Table::num(e.metric("ar_us"), 1),
+                  Table::num(a2aOf(e), 1),
+                  Table::pct(1.0 -
+                             w.metric("total_us") / g.metric("total_us")),
+                  Table::pct(1.0 - e.metric("total_us") /
+                                 w.metric("total_us"))});
     }
     std::printf("%s", t.render().c_str());
     std::printf("\n(latencies in us per sparse layer)\n");
+    benchout::writeSweepFiles("fig13b_models", rows);
     return 0;
 }

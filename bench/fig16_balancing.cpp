@@ -9,11 +9,18 @@
  * migration overhead is far costlier for short decode iterations.
  * Topology-aware balancing shrinks the overhead; NI removes it and
  * achieves the best MoE computation and all-to-all latency.
+ *
+ * The full model × schedule × workload × strategy product runs on the
+ * SweepRunner thread pool (`--jobs N`, MOENTWINE_JOBS); one WSC
+ * system is built once and shared read-only by every worker.
  */
 
 #include <cstdio>
 
 #include "core/moentwine.hh"
+#include "fig16_grid.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
 
 using namespace moentwine;
 
@@ -35,38 +42,49 @@ kindName(BalancerKind kind)
     return "?";
 }
 
-void
-sweep(const MoEModelConfig &model, SchedulingMode schedule,
-      const char *scheduleName, GatingMode gating,
-      const char *gatingName, const System &sys)
+const char *
+scheduleName(SchedulingMode mode)
 {
-    std::printf("-- %s | %s | %s --\n", model.name.c_str(),
-                scheduleName, gatingName);
-    Table t({"strategy", "A2A (us)", "MoE comp (us)",
-             "migration (us)", "load max/avg", "layer time (us)"});
-    for (const BalancerKind kind :
-         {BalancerKind::None, BalancerKind::Greedy,
-          BalancerKind::TopologyAware, BalancerKind::NonInvasive}) {
-        EngineConfig ec;
-        ec.model = model;
-        ec.schedule = schedule;
-        ec.decodeTokensPerGroup = 128;
-        ec.prefillTokensPerGroup = 1024;
-        ec.workload.mode = gating;
-        ec.workload.scenario = ScenarioKind::Math;
-        ec.workload.mixPeriod = 60;
-        ec.balancer = kind;
-        ec.alpha = 0.5;
-        ec.beta = 5;
-        InferenceEngine engine(sys.mapping(), ec);
+    switch (mode) {
+      case SchedulingMode::PrefillOnly:
+        return "Prefill-only";
+      case SchedulingMode::DecodeOnly:
+        return "Decode-only";
+      case SchedulingMode::Hybrid:
+        return "Hybrid";
+    }
+    return "?";
+}
+
+const char *
+gatingName(GatingMode mode)
+{
+    return mode == GatingMode::SingleScenario ? "Math-only" : "Mixed";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("== Fig. 16: balancing strategies across schedules and "
+                "workloads ==\n\n");
+
+    const SweepGrid grid = benchgrid::fig16BalancingGrid();
+
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [](const SweepCell &cell) {
+        const EngineConfig ec = benchgrid::fig16EngineConfig(cell.point);
+        InferenceEngine engine(cell.system->mapping(), ec);
 
         Summary a2a;
         Summary moe;
         Summary ratio;
         Summary layer;
         double migration = 0.0;
-        const auto trace = engine.run(80);
-        for (std::size_t i = 20; i < trace.size(); ++i) {
+        const auto trace = engine.run(benchgrid::kFig16Iterations);
+        for (std::size_t i = benchgrid::kFig16Warmup; i < trace.size();
+             ++i) {
             const auto &s = trace[i];
             a2a.add(s.allToAll());
             moe.add(s.moeTime);
@@ -74,41 +92,46 @@ sweep(const MoEModelConfig &model, SchedulingMode schedule,
             layer.add(s.layerTime(ec.pipelineStages));
             migration += s.migrationOverhead;
         }
-        t.addRow({kindName(kind), Table::num(a2a.mean() * 1e6, 1),
-                  Table::num(moe.mean() * 1e6, 1),
-                  Table::num(migration * 1e6 / 60.0, 2),
-                  Table::num(ratio.mean(), 2),
-                  Table::num(layer.mean() * 1e6, 1)});
+
+        SweepResult row;
+        row.label = ec.model.name + std::string(" | ") +
+            scheduleName(ec.schedule) + " | " +
+            gatingName(ec.workload.mode) + " | " +
+            kindName(ec.balancer);
+        row.add("a2a_us", a2a.mean() * 1e6);
+        row.add("moe_us", moe.mean() * 1e6);
+        row.add("migration_us",
+                migration * 1e6 / benchgrid::kFig16Measured);
+        row.add("load_ratio", ratio.mean());
+        row.add("layer_us", layer.mean() * 1e6);
+        return row;
+    });
+
+    for (std::size_t m = 0; m < grid.models.size(); ++m) {
+        for (std::size_t s = 0; s < grid.schedules.size(); ++s) {
+            for (std::size_t g = 0; g < grid.gatings.size(); ++g) {
+                std::printf("-- %s | %s | %s --\n",
+                            grid.models[m].name.c_str(),
+                            scheduleName(grid.schedules[s]),
+                            gatingName(grid.gatings[g]));
+                Table t({"strategy", "A2A (us)", "MoE comp (us)",
+                         "migration (us)", "load max/avg",
+                         "layer time (us)"});
+                for (std::size_t b = 0; b < grid.balancers.size(); ++b) {
+                    const SweepResult &r = rows[grid.at(
+                        static_cast<int>(m), 0, -1, static_cast<int>(b),
+                        static_cast<int>(s), static_cast<int>(g))];
+                    t.addRow({kindName(grid.balancers[b]),
+                              Table::num(r.metric("a2a_us"), 1),
+                              Table::num(r.metric("moe_us"), 1),
+                              Table::num(r.metric("migration_us"), 2),
+                              Table::num(r.metric("load_ratio"), 2),
+                              Table::num(r.metric("layer_us"), 1)});
+                }
+                std::printf("%s\n", t.render().c_str());
+            }
+        }
     }
-    std::printf("%s\n", t.render().c_str());
-}
-
-} // namespace
-
-int
-main()
-{
-    std::printf("== Fig. 16: balancing strategies across schedules and "
-                "workloads ==\n\n");
-    SystemConfig sc;
-    sc.platform = PlatformKind::WscEr;
-    sc.meshN = 4;
-    sc.tp = 4;
-    const System sys = System::make(sc);
-
-    for (const auto &model : {qwen3(), deepseekV3()}) {
-        sweep(model, SchedulingMode::PrefillOnly, "Prefill-only",
-              GatingMode::SingleScenario, "Math-only", sys);
-        sweep(model, SchedulingMode::PrefillOnly, "Prefill-only",
-              GatingMode::MixedScenario, "Mixed", sys);
-        sweep(model, SchedulingMode::DecodeOnly, "Decode-only",
-              GatingMode::SingleScenario, "Math-only", sys);
-        sweep(model, SchedulingMode::DecodeOnly, "Decode-only",
-              GatingMode::MixedScenario, "Mixed", sys);
-        sweep(model, SchedulingMode::Hybrid, "Hybrid",
-              GatingMode::SingleScenario, "Math-only", sys);
-        sweep(model, SchedulingMode::Hybrid, "Hybrid",
-              GatingMode::MixedScenario, "Mixed", sys);
-    }
+    benchout::writeSweepFiles("fig16_balancing", rows);
     return 0;
 }

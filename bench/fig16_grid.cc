@@ -1,0 +1,44 @@
+#include "fig16_grid.hh"
+
+namespace moentwine {
+namespace benchgrid {
+
+SweepGrid
+fig16BalancingGrid()
+{
+    SweepGrid grid;
+    grid.models = {qwen3(), deepseekV3()};
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscEr;
+    sc.meshN = 4;
+    sc.tp = 4;
+    grid.systems = {sc};
+    grid.balancers = {BalancerKind::None, BalancerKind::Greedy,
+                      BalancerKind::TopologyAware,
+                      BalancerKind::NonInvasive};
+    grid.schedules = {SchedulingMode::PrefillOnly,
+                      SchedulingMode::DecodeOnly, SchedulingMode::Hybrid};
+    grid.gatings = {GatingMode::SingleScenario, GatingMode::MixedScenario};
+    return grid;
+}
+
+EngineConfig
+fig16EngineConfig(const SweepPoint &point)
+{
+    EngineConfig ec;
+    ec.model = point.modelConfig();
+    ec.schedule = point.schedulingMode();
+    ec.decodeTokensPerGroup = 128;
+    ec.prefillTokensPerGroup = 1024;
+    ec.workload.mode = point.gatingMode();
+    ec.workload.scenario = ScenarioKind::Math;
+    ec.workload.mixPeriod = 60;
+    ec.workload.seed = point.seed();
+    ec.balancer = point.balancerKind();
+    ec.alpha = 0.5;
+    ec.beta = 5;
+    return ec;
+}
+
+} // namespace benchgrid
+} // namespace moentwine

@@ -11,119 +11,145 @@
  * exposed migration that the topology-aware variant shrinks and the
  * NI-Balancer eliminates; the final configuration beats NVL72 on
  * per-device MoE latency (paper: ~39% average).
+ *
+ * The model × ladder-step grid runs on the SweepRunner pool
+ * (`--jobs N`); the ladder is not a platform cartesian product, so the
+ * driver prebuilds its five systems itself and shares each one
+ * read-only across all workers and both models.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 
 #include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
 
 using namespace moentwine;
 
 namespace {
 
-struct Row
+/** One rung of the ablation ladder. */
+struct LadderStep
 {
-    std::string name;
-    double a2a;
-    double moe;
-    double migration;
-
-    double total() const { return std::max(a2a, moe) + migration; }
+    const char *name;
+    std::shared_ptr<const System> system;
+    BalancerKind balancer;
+    bool migrationViaDisk;
 };
 
-Row
-run(const std::string &name, const System &sys,
-    const MoEModelConfig &model, BalancerKind balancer,
-    bool migrationViaDisk = false)
+double
+totalOf(const SweepResult &r)
 {
-    EngineConfig ec;
-    ec.model = model;
-    ec.migrationViaDisk = migrationViaDisk;
-    // Equal per-device routed-token load across platforms: with
-    // tokens/group proportional to TP, every device sees
-    // 32 x topk routed tokens regardless of the device count.
-    ec.decodeTokensPerGroup = 32 * sys.mapping().tp();
-    ec.workload.mode = GatingMode::MixedScenario;
-    ec.workload.mixPeriod = 60;
-    ec.balancer = balancer;
-    ec.alpha = 0.5;
-    ec.beta = 5;
-    InferenceEngine engine(sys.mapping(), ec);
-
-    Summary a2a;
-    Summary moe;
-    double migration = 0.0;
-    const auto trace = engine.run(40);
-    for (std::size_t i = 10; i < trace.size(); ++i) {
-        a2a.add(trace[i].allToAll());
-        moe.add(trace[i].moeTime);
-        migration += trace[i].migrationOverhead;
-    }
-    return Row{name, a2a.mean(), moe.mean(),
-               migration / static_cast<double>(trace.size() - 10)};
+    return std::max(r.metric("a2a_us"), r.metric("moe_us")) +
+        r.metric("migration_us");
 }
 
-void
-ladder(const MoEModelConfig &model)
+} // namespace
+
+int
+main(int argc, char **argv)
 {
-    std::printf("-- %s --\n", model.name.c_str());
-    std::vector<Row> rows;
+    std::printf("== Fig. 17: multi-WSC system vs NVL72 supernode "
+                "==\n\n");
 
     SystemConfig nvl;
     nvl.platform = PlatformKind::Nvl72;
     nvl.tp = 4;
-    const System nvlSys = System::make(nvl);
-    rows.push_back(run("NVL72", nvlSys, model, BalancerKind::None));
-    // NVL72 hides migration behind dedicated NVMe channels.
-    rows.push_back(run("NVL72 + Balance", nvlSys, model,
-                       BalancerKind::Greedy, true));
+    const auto nvlSys =
+        std::make_shared<const System>(System::make(nvl));
 
     SystemConfig wsc;
     wsc.meshN = 8;
     wsc.wafers = 4;
     wsc.tp = 16;
     wsc.platform = PlatformKind::WscBaseline;
-    const System base = System::make(wsc);
-    rows.push_back(run("WSC", base, model, BalancerKind::None));
-
+    const auto base = std::make_shared<const System>(System::make(wsc));
     wsc.platform = PlatformKind::WscEr;
-    const System er = System::make(wsc);
-    rows.push_back(
-        run("WSC + ER-Mapping", er, model, BalancerKind::None));
-
+    const auto er = std::make_shared<const System>(System::make(wsc));
     wsc.platform = PlatformKind::WscHer;
-    const System her = System::make(wsc);
-    rows.push_back(
-        run("WSC + HER-Mapping", her, model, BalancerKind::None));
-    rows.push_back(run("WSC + HER + Greedy", her, model,
-                       BalancerKind::Greedy));
-    rows.push_back(run("WSC + HER + Topology", her, model,
-                       BalancerKind::TopologyAware));
-    rows.push_back(run("WSC + HER + Non-invasive", her, model,
-                       BalancerKind::NonInvasive));
+    const auto her = std::make_shared<const System>(System::make(wsc));
 
-    const double reference = rows.front().total();
-    Table t({"configuration", "A2A (us)", "MoE comp (us)",
-             "migration (us)", "total (us)", "vs NVL72"});
-    for (const Row &r : rows) {
-        t.addRow({r.name, Table::num(r.a2a * 1e6, 1),
-                  Table::num(r.moe * 1e6, 1),
-                  Table::num(r.migration * 1e6, 2),
-                  Table::num(r.total() * 1e6, 1),
-                  Table::pct(reference / r.total() - 1.0)});
+    // NVL72 hides migration behind dedicated NVMe channels; the WSC
+    // rungs expose whatever their balancer migrates.
+    const std::vector<LadderStep> ladder = {
+        {"NVL72", nvlSys, BalancerKind::None, false},
+        {"NVL72 + Balance", nvlSys, BalancerKind::Greedy, true},
+        {"WSC", base, BalancerKind::None, false},
+        {"WSC + ER-Mapping", er, BalancerKind::None, false},
+        {"WSC + HER-Mapping", her, BalancerKind::None, false},
+        {"WSC + HER + Greedy", her, BalancerKind::Greedy, false},
+        {"WSC + HER + Topology", her, BalancerKind::TopologyAware, false},
+        {"WSC + HER + Non-invasive", her, BalancerKind::NonInvasive,
+         false},
+    };
+
+    SweepGrid grid;
+    grid.models = {deepseekV3(), qwen3()};
+    grid.params.resize(ladder.size());
+    for (std::size_t s = 0; s < ladder.size(); ++s)
+        grid.params[s] = static_cast<double>(s);
+
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [&](const SweepCell &cell) {
+        const LadderStep &step = ladder[static_cast<std::size_t>(
+            cell.point.parameter())];
+        const MoEModelConfig &model = cell.point.modelConfig();
+
+        EngineConfig ec;
+        ec.model = model;
+        ec.migrationViaDisk = step.migrationViaDisk;
+        // Equal per-device routed-token load across platforms: with
+        // tokens/group proportional to TP, every device sees
+        // 32 x topk routed tokens regardless of the device count.
+        ec.decodeTokensPerGroup = 32 * step.system->mapping().tp();
+        ec.workload.mode = GatingMode::MixedScenario;
+        ec.workload.mixPeriod = 60;
+        ec.balancer = step.balancer;
+        ec.alpha = 0.5;
+        ec.beta = 5;
+        InferenceEngine engine(step.system->mapping(), ec);
+
+        Summary a2a;
+        Summary moe;
+        double migration = 0.0;
+        const auto trace = engine.run(40);
+        for (std::size_t i = 10; i < trace.size(); ++i) {
+            a2a.add(trace[i].allToAll());
+            moe.add(trace[i].moeTime);
+            migration += trace[i].migrationOverhead;
+        }
+
+        SweepResult row;
+        row.label = model.name + std::string(" | ") + step.name;
+        row.add("a2a_us", a2a.mean() * 1e6);
+        row.add("moe_us", moe.mean() * 1e6);
+        row.add("migration_us",
+                migration * 1e6 /
+                    static_cast<double>(trace.size() - 10));
+        return row;
+    });
+
+    for (std::size_t m = 0; m < grid.models.size(); ++m) {
+        std::printf("-- %s --\n", grid.models[m].name.c_str());
+        const double reference =
+            totalOf(rows[grid.at(static_cast<int>(m), -1, -1, -1, -1,
+                                 -1, 0)]);
+        Table t({"configuration", "A2A (us)", "MoE comp (us)",
+                 "migration (us)", "total (us)", "vs NVL72"});
+        for (std::size_t s = 0; s < ladder.size(); ++s) {
+            const SweepResult &r = rows[grid.at(
+                static_cast<int>(m), -1, -1, -1, -1, -1,
+                static_cast<int>(s))];
+            t.addRow({ladder[s].name, Table::num(r.metric("a2a_us"), 1),
+                      Table::num(r.metric("moe_us"), 1),
+                      Table::num(r.metric("migration_us"), 2),
+                      Table::num(totalOf(r), 1),
+                      Table::pct(reference / totalOf(r) - 1.0)});
+        }
+        std::printf("%s\n", t.render().c_str());
     }
-    std::printf("%s\n", t.render().c_str());
-}
-
-} // namespace
-
-int
-main()
-{
-    std::printf("== Fig. 17: multi-WSC system vs NVL72 supernode "
-                "==\n\n");
-    ladder(deepseekV3());
-    ladder(qwen3());
+    benchout::writeSweepFiles("fig17_ablation", rows);
     return 0;
 }

@@ -9,17 +9,26 @@
  * Emits a stable JSON trajectory to stdout and to BENCH_routing.json so
  * future PRs have a perf baseline to beat:
  *   {"bench": ..., "iters_per_sec": ..., "ns_per_route": ...}
+ * plus, since the sweep subsystem landed, a serial-vs-parallel wall
+ * clock of a fig16-style grid on the SweepRunner thread pool:
+ *   "sweep": {"cells": ..., "jobs": ..., "speedup": ...}
  *
- * Usage: perf_routing [iterations]   (default 300 cached / 60 baseline)
+ * Usage: perf_routing [iterations] [--jobs N]
+ *        (default 300 cached / 60 baseline; jobs default to
+ *        MOENTWINE_JOBS, then hardware_concurrency)
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/moentwine.hh"
+#include "fig16_grid.hh"
+#include "sweep/sweep.hh"
 
 using namespace moentwine;
 
@@ -120,10 +129,94 @@ runPlatform(const std::string &label, Topology &topo,
     return r;
 }
 
-std::string
-toJson(const std::vector<BenchResult> &results)
+/** Wall-clock of one SweepRunner pass over a fig16-style grid. */
+struct SweepBenchResult
 {
-    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v1\",\n"
+    std::string bench;
+    std::size_t cells = 0;
+    int jobs = 1;
+    double serialSeconds = 0.0;
+    double parallelSeconds = 0.0;
+    bool rowsIdentical = false;
+
+    double speedup() const
+    {
+        return parallelSeconds > 0.0 ? serialSeconds / parallelSeconds
+                                     : 0.0;
+    }
+};
+
+/** Exact row equality (labels, keys, bitwise metric values). */
+bool
+rowsEqual(const std::vector<SweepResult> &a,
+          const std::vector<SweepResult> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].index != b[i].index || a[i].label != b[i].label ||
+            a[i].metrics != b[i].metrics)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * Time the fig16-style balancing grid serially and on the thread
+ * pool. The grid is embarrassingly parallel (one engine per cell), so
+ * on a multi-core runner the pool's wall-clock approaches
+ * serial/jobs; rows must come back byte-identical either way.
+ */
+SweepBenchResult
+runSweepBench(int jobs)
+{
+    // Time exactly the grid fig16_balancing runs (bench/fig16_grid.cc
+    // is shared with the driver, so this trajectory cannot drift from
+    // the figure it claims to measure).
+    const SweepGrid grid = benchgrid::fig16BalancingGrid();
+
+    const SweepRunner::CellFn cell = [](const SweepCell &c) {
+        const EngineConfig ec = benchgrid::fig16EngineConfig(c.point);
+        InferenceEngine engine(c.system->mapping(), ec);
+        double layer = 0.0;
+        for (const auto &s : engine.run(benchgrid::kFig16Iterations))
+            layer += s.layerTime(ec.pipelineStages);
+        SweepResult row;
+        row.label = "cell" + std::to_string(c.point.index);
+        row.add("layer_sum_s", layer);
+        return row;
+    };
+
+    SweepBenchResult r;
+    r.bench = "sweep_fig16_wsc_er_16dev";
+    r.cells = grid.cells();
+    r.jobs = jobs;
+
+    const SweepRunner serial(1);
+    auto start = Clock::now();
+    const auto serialRows = serial.run(grid, cell);
+    r.serialSeconds = secondsSince(start);
+
+    const SweepRunner parallel(jobs);
+    start = Clock::now();
+    const auto parallelRows = parallel.run(grid, cell);
+    r.parallelSeconds = secondsSince(start);
+
+    r.rowsIdentical = rowsEqual(serialRows, parallelRows);
+
+    std::printf("%-24s serial %6.2f s | parallel(%d) %6.2f s | "
+                "speedup %5.2fx | rows %s\n",
+                r.bench.c_str(), r.serialSeconds, r.jobs,
+                r.parallelSeconds, r.speedup(),
+                r.rowsIdentical ? "identical" : "DIVERGED");
+    return r;
+}
+
+std::string
+toJson(const std::vector<BenchResult> &results,
+       const SweepBenchResult &sweep)
+{
+    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v2\",\n"
                       "  \"results\": [\n";
     char buf[512];
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -138,7 +231,18 @@ toJson(const std::vector<BenchResult> &results)
             i + 1 < results.size() ? "," : "");
         out += buf;
     }
-    out += "  ]\n}\n";
+    out += "  ],\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"sweep\": {\"bench\": \"%s\", \"cells\": %zu, "
+        "\"jobs\": %d, \"serial_seconds\": %.3f, "
+        "\"parallel_seconds\": %.3f, \"speedup\": %.2f, "
+        "\"rows_identical\": %s}\n",
+        sweep.bench.c_str(), sweep.cells, sweep.jobs,
+        sweep.serialSeconds, sweep.parallelSeconds, sweep.speedup(),
+        sweep.rowsIdentical ? "true" : "false");
+    out += buf;
+    out += "}\n";
     return out;
 }
 
@@ -148,15 +252,26 @@ int
 main(int argc, char **argv)
 {
     int iters = 300;
-    if (argc > 1) {
-        iters = std::atoi(argv[1]);
+    for (int i = 1; i < argc; ++i) {
+        // Flags (--jobs and any future spelling) belong to
+        // SweepRunner::jobsFromArgs below; only bare values are the
+        // iteration count.
+        if (std::strncmp(argv[i], "--", 2) == 0) {
+            if (std::strcmp(argv[i], "--jobs") == 0)
+                ++i; // skip the flag's value too
+            continue;
+        }
+        iters = std::atoi(argv[i]);
         if (iters <= 0) {
             std::fprintf(stderr,
-                         "usage: perf_routing [iterations>0] (got '%s')\n",
-                         argv[1]);
+                         "usage: perf_routing [iterations>0] [--jobs N] "
+                         "(got '%s')\n",
+                         argv[i]);
             return 2;
         }
     }
+    const int jobs = SweepRunner::resolveJobs(
+        SweepRunner::jobsFromArgs(argc, argv));
 
     // Fig. 16-style serving workload: decode iterations over a drifting
     // scenario mixture, which keeps gating (and therefore the flow set)
@@ -188,7 +303,12 @@ main(int argc, char **argv)
             runPlatform("dgx_4node_tp4", dgx, cm, cfg, iters));
     }
 
-    const std::string json = toJson(results);
+    // Parallel-sweep trajectory: serial vs thread-pooled wall-clock of
+    // a fig16-style grid (the workload every converted fig driver now
+    // runs through SweepRunner).
+    const SweepBenchResult sweep = runSweepBench(jobs);
+
+    const std::string json = toJson(results, sweep);
     std::printf("\n%s", json.c_str());
 
     if (std::FILE *f = std::fopen("BENCH_routing.json", "w")) {

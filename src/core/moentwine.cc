@@ -52,6 +52,11 @@ System::make(const SystemConfig &cfg)
       }
     }
     MOE_ASSERT(sys.mapping_ != nullptr, "platform construction failed");
+    // Finalize immutability: build the all-pairs route table and the
+    // dispatch-source memos now, so the returned System carries no
+    // cold lazy caches and can be shared as shared_ptr<const System>
+    // across sweep worker threads (each worker still owns its engine).
+    sys.mapping_->prewarmCaches();
     return sys;
 }
 

@@ -77,6 +77,13 @@ struct SystemConfig
 
 /**
  * Owning bundle of a topology and the mapping placed on it.
+ *
+ * make() finalizes every lazy cache (all-pairs routes, dispatch-source
+ * memos), so a constructed System is deeply immutable behind its const
+ * interface and safe to share across threads as shared_ptr<const
+ * System> — the contract the sweep runner's worker pool relies on.
+ * Only the single-threaded benchmarking hooks
+ * (Topology::disableRouteCache()) may mutate it afterwards.
  */
 class System
 {

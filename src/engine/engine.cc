@@ -6,7 +6,6 @@
 #include "common/logging.hh"
 #include "engine/token_router.hh"
 #include "network/collectives.hh"
-#include "topology/mesh.hh"
 
 namespace moentwine {
 
@@ -18,28 +17,6 @@ overlap(double comp, double comm, int stages)
 {
     MOE_ASSERT(stages >= 1, "pipeline stages must be >= 1");
     return std::max(comp, comm) + std::min(comp, comm) / stages;
-}
-
-/**
- * Order a device set as a short-step ring. On meshes a serpentine sweep
- * (row-major with alternate rows reversed) keeps consecutive members
- * adjacent; other topologies keep the stored order.
- */
-std::vector<DeviceId>
-serpentineRing(const Topology &topo, std::vector<DeviceId> devices)
-{
-    const auto *mesh = dynamic_cast<const MeshTopology *>(&topo);
-    if (!mesh)
-        return devices;
-    std::sort(devices.begin(), devices.end(), [&](DeviceId a, DeviceId b) {
-        const Coord ca = mesh->coordOf(a);
-        const Coord cb = mesh->coordOf(b);
-        if (ca.row != cb.row)
-            return ca.row < cb.row;
-        const bool reversed = ca.row % 2 == 1;
-        return reversed ? ca.col > cb.col : ca.col < cb.col;
-    });
-    return devices;
 }
 
 } // namespace
@@ -74,7 +51,9 @@ InferenceEngine::InferenceEngine(const Mapping &mapping,
                cfg.balancer == BalancerKind::NonInvasive ? 0 : cfg.beta),
       a2aTraffic_(mapping.topology()),
       dispTraffic_(mapping.topology()),
-      combTraffic_(mapping.topology())
+      combTraffic_(mapping.topology()),
+      arScratch_(mapping.topology()),
+      espScratch_(mapping.topology())
 {
     switch (cfg.balancer) {
       case BalancerKind::None:
@@ -144,9 +123,8 @@ InferenceEngine::step()
 
     // --- Attention phase -------------------------------------------------
     stats.attnCompute = attentionCompute();
-    CollectiveTiming ar =
-        mapping_.allReduce(tokens * tokenBytes, cfg_.retainAllGather);
-    stats.allReduce = ar.time;
+    stats.allReduce = mapping_.allReduceInto(
+        tokens * tokenBytes, cfg_.retainAllGather, arScratch_);
 
     // --- Gating -----------------------------------------------------------
     workload_.sampleCountsInto(iteration_, 0, tokens, mapping_.dp(),
@@ -169,18 +147,11 @@ InferenceEngine::step()
             static_cast<double>(mapping_.ftds().front().size());
         const double perFtdTokens =
             static_cast<double>(mapping_.dp()) * tokens / numFtds;
-        if (espRings_.empty()) {
-            espRings_.reserve(mapping_.ftds().size());
-            for (const auto &ftd : mapping_.ftds())
-                espRings_.push_back(
-                    serpentineRing(mapping_.topology(), ftd));
-        }
-        CollectiveTiming epAr =
-            ringCollective(mapping_.topology(), espRings_,
-                           perFtdTokens * tokenBytes, RingOp::AllReduce,
-                           mapping_.staggeredRings());
-        stats.epAllReduce = epAr.time;
-        a2aTraffic_.merge(epAr.traffic);
+        stats.epAllReduce = ringCollectiveInto(
+            mapping_.topology(), mapping_.ftdRings(),
+            perFtdTokens * tokenBytes, RingOp::AllReduce,
+            mapping_.staggeredRings(), espScratch_);
+        a2aTraffic_.merge(espScratch_.traffic);
 
         const double perDeviceTokens =
             perFtdTokens * cfg_.model.expertsActivated / ftdSize;
@@ -279,7 +250,7 @@ InferenceEngine::step()
         const double moeWindow =
             stats.moePhase(cfg_.pipelineStages) * layers;
         stats.migrationsCompleted =
-            nonInvasive_->advanceAttention(ar.traffic, attnWindow,
+            nonInvasive_->advanceAttention(arScratch_.traffic, attnWindow,
                                            placement_) +
             nonInvasive_->advanceMoe(a2aTraffic_, moeWindow, placement_);
         stats.migrationsPending =

@@ -33,6 +33,7 @@
 #include "mapping/mapping.hh"
 #include "model/cost_model.hh"
 #include "model/moe_config.hh"
+#include "network/collectives.hh"
 #include "network/traffic.hh"
 #include "workload/workload.hh"
 
@@ -199,7 +200,10 @@ class InferenceEngine
     int iteration_ = 0;
 
     // Per-iteration scratch, reused across step() calls so the hot
-    // path performs no steady-state allocation.
+    // path performs no steady-state allocation. All mutable state of a
+    // simulation lives here (or in the members above): the mapping and
+    // topology are only ever read, which is what lets sweep workers
+    // share one const System across threads.
     std::vector<std::vector<int>> countsScratch_;
     std::vector<double> expertLoadsScratch_;
     std::vector<double> espTokensScratch_;
@@ -207,8 +211,11 @@ class InferenceEngine
     PhaseTraffic a2aTraffic_;
     PhaseTraffic dispTraffic_;
     PhaseTraffic combTraffic_;
-    // Serpentine FTD rings for ESP mode, built once (FTDs are fixed).
-    std::vector<std::vector<DeviceId>> espRings_;
+    // Collective buffers: attention all-reduce and ESP expert
+    // all-reduce (the FTD ring orders themselves are memoised by the
+    // mapping; see Mapping::ftdRings()).
+    CollectiveScratch arScratch_;
+    CollectiveScratch espScratch_;
 };
 
 } // namespace moentwine

@@ -57,13 +57,21 @@ ClusterMapping::dispatchDedupFactor(DeviceId src, DeviceId dst,
     const double n = cluster_.spec().numNodes;
     if (n <= 1.0)
         return 1.0;
-    if (topk != cachedTopk_) {
-        const double distinct =
-            n * (1.0 - std::pow(1.0 - 1.0 / n, topk));
-        cachedCross_ = std::min(1.0, distinct / static_cast<double>(topk));
-        cachedTopk_ = topk;
+    if (topk <= kMaxMemoTopk) {
+        const double memo =
+            crossMemo_[static_cast<std::size_t>(topk)].load(
+                std::memory_order_relaxed);
+        if (memo != 0.0)
+            return memo;
     }
-    return cachedCross_;
+    const double distinct = n * (1.0 - std::pow(1.0 - 1.0 / n, topk));
+    const double cross =
+        std::min(1.0, distinct / static_cast<double>(topk));
+    if (topk <= kMaxMemoTopk) {
+        crossMemo_[static_cast<std::size_t>(topk)].store(
+            cross, std::memory_order_relaxed);
+    }
+    return cross;
 }
 
 } // namespace moentwine

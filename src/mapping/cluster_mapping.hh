@@ -13,6 +13,8 @@
 #ifndef MOENTWINE_MAPPING_CLUSTER_MAPPING_HH
 #define MOENTWINE_MAPPING_CLUSTER_MAPPING_HH
 
+#include <array>
+#include <atomic>
 #include <string>
 
 #include "mapping/mapping.hh"
@@ -44,9 +46,14 @@ class ClusterMapping : public Mapping
 
   private:
     const SwitchClusterTopology &cluster_;
-    // Memo for the cross-node dedup factor (depends only on topk).
-    mutable int cachedTopk_ = -1;
-    mutable double cachedCross_ = 1.0;
+    /** Largest topk the cross-node dedup memo covers. */
+    static constexpr int kMaxMemoTopk = 64;
+    // Per-topk memo of the cross-node dedup factor. Entries are
+    // idempotent functions of topk alone, stored as relaxed atomics
+    // (0 = unset) so engines on different threads sharing one const
+    // mapping may race on first use without UB: racing writers store
+    // the identical value.
+    mutable std::array<std::atomic<double>, kMaxMemoTopk + 1> crossMemo_{};
 };
 
 } // namespace moentwine

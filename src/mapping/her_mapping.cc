@@ -68,16 +68,18 @@ HierarchicalErMapping::HierarchicalErMapping(const MeshTopology &mesh,
     finalize();
 }
 
-CollectiveTiming
-HierarchicalErMapping::allReduce(double bytesPerGroup,
-                                 bool withAllGather) const
+double
+HierarchicalErMapping::allReduceInto(double bytesPerGroup,
+                                     bool withAllGather,
+                                     CollectiveScratch &scratch) const
 {
     if (!withAllGather || mesh_.numWafers() == 1) {
         // Single wafer degenerates to plain entwined-ring all-reduce.
-        return Mapping::allReduce(bytesPerGroup, withAllGather);
+        return Mapping::allReduceInto(bytesPerGroup, withAllGather,
+                                      scratch);
     }
-    return hierarchicalAllReduce(topo_, tpGroups_, interRings_,
-                                 bytesPerGroup);
+    return hierarchicalAllReduceInto(topo_, tpGroups_, interRings_,
+                                     bytesPerGroup, scratch);
 }
 
 DeviceId

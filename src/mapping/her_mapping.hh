@@ -41,8 +41,8 @@ class HierarchicalErMapping : public Mapping
 
     bool staggeredRings() const override { return true; }
 
-    CollectiveTiming allReduce(double bytesPerGroup,
-                               bool withAllGather) const override;
+    double allReduceInto(double bytesPerGroup, bool withAllGather,
+                         CollectiveScratch &scratch) const override;
 
     DeviceId dispatchSource(int group, int rank, DeviceId expertDevice,
                             bool allGatherRetained) const override;

@@ -3,6 +3,7 @@
 #include <tuple>
 
 #include "common/logging.hh"
+#include "mapping/ring_order.hh"
 
 namespace moentwine {
 
@@ -46,6 +47,13 @@ Mapping::finalize()
         MOE_ASSERT(groupOf_[d] >= 0, "device missing from TP groups");
         MOE_ASSERT(ftdIndexOf_[d] >= 0, "device missing from FTDs");
     }
+
+    // FTDs are fixed, so their collective ring orders are derived once
+    // here instead of per call at the engine layer.
+    ftdRings_.clear();
+    ftdRings_.reserve(ftds_.size());
+    for (const auto &ftd : ftds_)
+        ftdRings_.push_back(serpentineRing(topo_, ftd));
 }
 
 int
@@ -72,10 +80,20 @@ Mapping::ftdOf(DeviceId d) const
 CollectiveTiming
 Mapping::allReduce(double bytesPerGroup, bool withAllGather) const
 {
-    return ringCollective(topo_, tpGroups_, bytesPerGroup,
-                          withAllGather ? RingOp::AllReduce
-                                        : RingOp::ReduceScatter,
-                          staggeredRings());
+    CollectiveScratch scratch(topo_);
+    const double time =
+        allReduceInto(bytesPerGroup, withAllGather, scratch);
+    return CollectiveTiming{time, std::move(scratch.traffic)};
+}
+
+double
+Mapping::allReduceInto(double bytesPerGroup, bool withAllGather,
+                       CollectiveScratch &scratch) const
+{
+    return ringCollectiveInto(topo_, tpGroups_, bytesPerGroup,
+                              withAllGather ? RingOp::AllReduce
+                                            : RingOp::ReduceScatter,
+                              staggeredRings(), scratch);
 }
 
 DeviceId
@@ -94,21 +112,30 @@ Mapping::dispatchSource(int group, int rank, DeviceId expertDevice,
     return nearestGroupMember(group, expertDevice);
 }
 
+void
+Mapping::buildDispatchTable(bool allGatherRetained,
+                            std::vector<DeviceId> &table) const
+{
+    const auto devices = static_cast<std::size_t>(numDevices());
+    table.resize(static_cast<std::size_t>(dp()) *
+                 static_cast<std::size_t>(tp()) * devices);
+    std::size_t i = 0;
+    for (int g = 0; g < dp(); ++g)
+        for (int r = 0; r < tp(); ++r)
+            for (DeviceId d = 0; d < numDevices(); ++d, ++i)
+                table[i] = dispatchSource(g, r, d, allGatherRetained);
+}
+
 DeviceId
 Mapping::dispatchSourceCached(int group, int rank, DeviceId expertDevice,
                               bool allGatherRetained) const
 {
+    // call_once publishes the finished table, so engines on different
+    // threads sharing one const mapping cannot observe a partial build.
     auto &table = allGatherRetained ? dispatchSrcAg_ : dispatchSrcNoAg_;
+    std::call_once(allGatherRetained ? dispatchOnceAg_ : dispatchOnceNoAg_,
+                   [&] { buildDispatchTable(allGatherRetained, table); });
     const auto devices = static_cast<std::size_t>(numDevices());
-    if (table.empty()) {
-        table.resize(static_cast<std::size_t>(dp()) *
-                     static_cast<std::size_t>(tp()) * devices);
-        std::size_t i = 0;
-        for (int g = 0; g < dp(); ++g)
-            for (int r = 0; r < tp(); ++r)
-                for (DeviceId d = 0; d < numDevices(); ++d, ++i)
-                    table[i] = dispatchSource(g, r, d, allGatherRetained);
-    }
     MOE_ASSERT(group >= 0 && group < dp(), "bad TP group index");
     MOE_ASSERT(rank >= 0 && rank < tp(), "bad shard rank");
     MOE_ASSERT(expertDevice >= 0 && expertDevice < numDevices(),
@@ -118,6 +145,17 @@ Mapping::dispatchSourceCached(int group, int rank, DeviceId expertDevice,
                   static_cast<std::size_t>(rank)) *
                      devices +
                  static_cast<std::size_t>(expertDevice)];
+}
+
+void
+Mapping::prewarmCaches() const
+{
+    topo_.finalizeRoutes();
+    // Force both dispatch memo tables through the once-guard.
+    if (dp() > 0 && numDevices() > 0) {
+        (void)dispatchSourceCached(0, 0, 0, true);
+        (void)dispatchSourceCached(0, 0, 0, false);
+    }
 }
 
 double

@@ -23,6 +23,7 @@
 #ifndef MOENTWINE_MAPPING_MAPPING_HH
 #define MOENTWINE_MAPPING_MAPPING_HH
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -69,6 +70,17 @@ class Mapping
     /** FTD index of a device. */
     int ftdOf(DeviceId d) const;
 
+    /**
+     * Every FTD ordered as a short-step collective ring (serpentine on
+     * meshes, stored order elsewhere). Memoised eagerly at finalize()
+     * — FTDs are fixed — so the engine's ESP expert all-reduce and any
+     * other FTD-wide collective never re-derive ring orders per call.
+     */
+    const std::vector<std::vector<DeviceId>> &ftdRings() const
+    {
+        return ftdRings_;
+    }
+
     /** Mapping name for bench output. */
     virtual std::string name() const = 0;
 
@@ -84,8 +96,18 @@ class Mapping
      * @param withAllGather Retain the all-gather half (Fig. 9); when
      *        false only the reduce-scatter runs.
      */
-    virtual CollectiveTiming allReduce(double bytesPerGroup,
-                                       bool withAllGather) const;
+    CollectiveTiming allReduce(double bytesPerGroup,
+                               bool withAllGather) const;
+
+    /**
+     * Allocation-free allReduce(): identical timing, with the per-link
+     * traffic accumulated into @p scratch (engine-owned, reused across
+     * iterations) instead of a freshly allocated PhaseTraffic. This is
+     * the virtual customisation point; HER-Mapping overrides it with
+     * the hierarchical two-stage schedule.
+     */
+    virtual double allReduceInto(double bytesPerGroup, bool withAllGather,
+                                 CollectiveScratch &scratch) const;
 
     /**
      * Device that supplies tokens of (TP group, shard rank) to an
@@ -107,11 +129,21 @@ class Mapping
      * lazily built (group, rank, destination) table so the token
      * router's per-iteration hot path performs no route walks and no
      * allocation. Mappings are immutable after construction, so the
-     * table never invalidates.
+     * table never invalidates; the lazy build is once-guarded so
+     * engines on different threads may share one const mapping.
      */
     DeviceId dispatchSourceCached(int group, int rank,
                                   DeviceId expertDevice,
                                   bool allGatherRetained) const;
+
+    /**
+     * Eagerly build every lazy cache a const mapping query could
+     * otherwise populate on first use: the topology's all-pairs route
+     * table and both dispatch-source memo tables. System::make calls
+     * this so a System handed to sweep worker threads as
+     * shared_ptr<const> has no cold caches left to contend on.
+     */
+    void prewarmCaches() const;
 
     /**
      * True when dispatchSource() ignores the shard rank under the
@@ -174,12 +206,21 @@ class Mapping
     std::vector<std::vector<DeviceId>> ftds_;
 
   private:
+    /** Fill @p table with all (group, rank, destination) sources. */
+    void buildDispatchTable(bool allGatherRetained,
+                            std::vector<DeviceId> &table) const;
+
     std::vector<int> groupOf_;
     std::vector<int> rankOf_;
     std::vector<int> ftdIndexOf_;
+    // FTD collective rings, derived once in finalize().
+    std::vector<std::vector<DeviceId>> ftdRings_;
     // dispatchSource memo, one table per allGatherRetained value,
     // indexed [(group · tp + rank) · devices + destination]; built on
-    // first dispatchSourceCached() call with that flag.
+    // first dispatchSourceCached() call with that flag. once-guarded
+    // so concurrent first use from sweep workers is safe.
+    mutable std::once_flag dispatchOnceAg_;
+    mutable std::once_flag dispatchOnceNoAg_;
     mutable std::vector<DeviceId> dispatchSrcAg_;
     mutable std::vector<DeviceId> dispatchSrcNoAg_;
 };

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/logging.hh"
+#include "topology/mesh.hh"
 
 namespace moentwine {
 
@@ -93,6 +94,23 @@ gridCycle(int m, int n)
     // Odd×odd: no unit-step Hamiltonian cycle exists; the serpentine
     // path's closing edge is charged honestly by the caller.
     return serpentinePath(m, n);
+}
+
+std::vector<DeviceId>
+serpentineRing(const Topology &topo, std::vector<DeviceId> devices)
+{
+    const auto *mesh = dynamic_cast<const MeshTopology *>(&topo);
+    if (!mesh)
+        return devices;
+    std::sort(devices.begin(), devices.end(), [&](DeviceId a, DeviceId b) {
+        const Coord ca = mesh->coordOf(a);
+        const Coord cb = mesh->coordOf(b);
+        if (ca.row != cb.row)
+            return ca.row < cb.row;
+        const bool reversed = ca.row % 2 == 1;
+        return reversed ? ca.col > cb.col : ca.col < cb.col;
+    });
+    return devices;
 }
 
 int

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "topology/topology.hh"
+
 namespace moentwine {
 
 /** One (rowStep, colStep) position in a logical member grid. */
@@ -38,6 +40,16 @@ std::vector<GridPos> gridCycle(int m, int n);
  * distance between consecutive cells, including the wrap-around edge.
  */
 int maxCycleStep(const std::vector<GridPos> &cycle);
+
+/**
+ * Order a device set as a short-step ring. On meshes this is a
+ * serpentine sweep (row-major with alternate rows reversed) that keeps
+ * consecutive members adjacent; other topologies keep the stored
+ * order. Mappings memoise the result per FTD (Mapping::ftdRings()) so
+ * per-iteration collective paths never re-derive ring structures.
+ */
+std::vector<DeviceId> serpentineRing(const Topology &topo,
+                                     std::vector<DeviceId> devices);
 
 } // namespace moentwine
 

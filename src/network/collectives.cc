@@ -29,12 +29,16 @@ edgeVolumeCost(const Topology &topo, DeviceId src, DeviceId dst,
     return chunk * topo.pathInvBandwidthSum(src, dst);
 }
 
-} // namespace
-
-CollectiveTiming
-ringCollective(const Topology &topo,
-               const std::vector<std::vector<DeviceId>> &rings,
-               double bytes, RingOp op, bool staggered)
+/**
+ * Core of the ring collective: accumulates traffic into
+ * scratch.traffic (already cleared by the caller) and returns the
+ * completion time. scratch.round backs the un-staggered path.
+ */
+double
+ringCollectiveAppend(const Topology &topo,
+                     const std::vector<std::vector<DeviceId>> &rings,
+                     double bytes, RingOp op, bool staggered,
+                     CollectiveScratch &scratch)
 {
     MOE_ASSERT(!rings.empty(), "ringCollective requires at least one ring");
     const auto p = rings.front().size();
@@ -43,10 +47,9 @@ ringCollective(const Topology &topo,
         MOE_ASSERT(!ring.empty(), "empty ring");
     }
 
-    PhaseTraffic traffic(topo);
     if (p == 1) {
         // Degenerate single-member group: nothing to exchange.
-        return CollectiveTiming{0.0, std::move(traffic)};
+        return 0.0;
     }
 
     const double chunk = bytes / static_cast<double>(p);
@@ -58,8 +61,8 @@ ringCollective(const Topology &topo,
         for (std::size_t i = 0; i < p; ++i) {
             const DeviceId src = ring[i];
             const DeviceId dst = ring[(i + 1) % p];
-            traffic.addPath(topo.route(src, dst),
-                            chunk * static_cast<double>(rounds));
+            scratch.traffic.addPath(topo.route(src, dst),
+                                    chunk * static_cast<double>(rounds));
         }
     }
 
@@ -92,15 +95,59 @@ ringCollective(const Topology &topo,
         // Un-staggered: all rings inject each round simultaneously; a
         // round costs the congestion-aware phase time of the combined
         // round traffic.
-        PhaseTraffic round(topo);
+        scratch.round.clear();
         for (const auto &ring : rings)
             for (std::size_t i = 0; i < p; ++i)
-                round.addFlow(ring[i], ring[(i + 1) % p], chunk);
-        time = round.serializationTime() * static_cast<double>(rounds) +
-            round.maxPathLatency() * latencyRounds;
+                scratch.round.addFlow(ring[i], ring[(i + 1) % p], chunk);
+        time = scratch.round.serializationTime() *
+                static_cast<double>(rounds) +
+            scratch.round.maxPathLatency() * latencyRounds;
     }
+    return time;
+}
 
-    return CollectiveTiming{time, std::move(traffic)};
+} // namespace
+
+double
+ringCollectiveInto(const Topology &topo,
+                   const std::vector<std::vector<DeviceId>> &rings,
+                   double bytes, RingOp op, bool staggered,
+                   CollectiveScratch &scratch)
+{
+    scratch.traffic.clear();
+    return ringCollectiveAppend(topo, rings, bytes, op, staggered,
+                                scratch);
+}
+
+CollectiveTiming
+ringCollective(const Topology &topo,
+               const std::vector<std::vector<DeviceId>> &rings,
+               double bytes, RingOp op, bool staggered)
+{
+    CollectiveScratch scratch(topo);
+    const double time =
+        ringCollectiveInto(topo, rings, bytes, op, staggered, scratch);
+    return CollectiveTiming{time, std::move(scratch.traffic)};
+}
+
+double
+hierarchicalAllReduceInto(const Topology &topo,
+                          const std::vector<std::vector<DeviceId>>
+                              &intraRings,
+                          const std::vector<std::vector<DeviceId>>
+                              &interRings,
+                          double bytes, CollectiveScratch &scratch)
+{
+    scratch.traffic.clear();
+    const double intra = ringCollectiveAppend(
+        topo, intraRings, bytes, RingOp::ReduceScatter, true, scratch);
+    // After the intra-wafer reduce-scatter each device holds 1/p_intra of
+    // the tensor; the inter-wafer all-gather moves those shards.
+    const double shard =
+        bytes / static_cast<double>(intraRings.front().size());
+    const double inter = ringCollectiveAppend(
+        topo, interRings, shard, RingOp::AllGather, true, scratch);
+    return intra + inter;
 }
 
 CollectiveTiming
@@ -109,17 +156,11 @@ hierarchicalAllReduce(const Topology &topo,
                       const std::vector<std::vector<DeviceId>> &interRings,
                       double bytes)
 {
-    CollectiveTiming intra = ringCollective(topo, intraRings, bytes,
-                                            RingOp::ReduceScatter, true);
-    // After the intra-wafer reduce-scatter each device holds 1/p_intra of
-    // the tensor; the inter-wafer all-gather moves those shards.
-    const double shard =
-        bytes / static_cast<double>(intraRings.front().size());
-    CollectiveTiming inter = ringCollective(topo, interRings, shard,
-                                            RingOp::AllGather, true);
-    intra.traffic.merge(inter.traffic);
-    return CollectiveTiming{intra.time + inter.time,
-                            std::move(intra.traffic)};
+    CollectiveScratch scratch(topo);
+    const double time = hierarchicalAllReduceInto(topo, intraRings,
+                                                  interRings, bytes,
+                                                  scratch);
+    return CollectiveTiming{time, std::move(scratch.traffic)};
 }
 
 CollectiveTiming

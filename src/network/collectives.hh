@@ -50,6 +50,29 @@ struct CollectiveTiming
 };
 
 /**
+ * Reusable per-caller buffers for the allocation-free collective entry
+ * points. One engine owns one scratch per collective call site and
+ * reuses it across iterations, so the attention all-reduce and the ESP
+ * expert all-reduce perform no steady-state allocation (mirroring the
+ * MoE all-to-all's allToAllInto() path). Scratches are caller state,
+ * never mapping state: mappings stay immutable and shareable across
+ * sweep worker threads.
+ */
+struct CollectiveScratch
+{
+    /** @param topo Topology the collectives run on (must outlive). */
+    explicit CollectiveScratch(const Topology &topo)
+        : traffic(topo), round(topo)
+    {
+    }
+
+    /** Aggregated per-link volume of the last collective run. */
+    PhaseTraffic traffic;
+    /** Per-round accumulation buffer for the un-staggered path. */
+    PhaseTraffic round;
+};
+
+/**
  * Ring collective over one or more concurrent rings.
  *
  * @param topo      Network to run on.
@@ -68,6 +91,18 @@ CollectiveTiming ringCollective(const Topology &topo,
                                 double bytes, RingOp op, bool staggered);
 
 /**
+ * Allocation-free ringCollective(): clears @p scratch (keeping its
+ * volume buffers), accumulates the collective's per-link traffic into
+ * scratch.traffic — using scratch.round on the un-staggered path
+ * instead of a fresh per-call PhaseTraffic — and returns the
+ * completion time. Identical results to ringCollective().
+ */
+double ringCollectiveInto(const Topology &topo,
+                          const std::vector<std::vector<DeviceId>> &rings,
+                          double bytes, RingOp op, bool staggered,
+                          CollectiveScratch &scratch);
+
+/**
  * Hierarchical all-reduce for multi-wafer systems (Fig. 10(c)): an
  * intra-wafer reduce-scatter over @p intraRings followed by an
  * inter-wafer all-gather over @p interRings. Used by Hierarchical
@@ -81,6 +116,14 @@ CollectiveTiming hierarchicalAllReduce(const Topology &topo,
                                            std::vector<DeviceId>>
                                            &interRings,
                                        double bytes);
+
+/** Allocation-free hierarchicalAllReduce() (see ringCollectiveInto). */
+double hierarchicalAllReduceInto(const Topology &topo,
+                                 const std::vector<std::vector<DeviceId>>
+                                     &intraRings,
+                                 const std::vector<std::vector<DeviceId>>
+                                     &interRings,
+                                 double bytes, CollectiveScratch &scratch);
 
 /**
  * All-to-all phase (token dispatch or combine) from explicit flows.

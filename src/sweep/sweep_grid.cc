@@ -1,0 +1,179 @@
+#include "sweep/sweep_grid.hh"
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+namespace {
+
+/** Effective length of an axis: empty axes are one wildcard cell. */
+std::size_t
+axisLen(std::size_t size)
+{
+    return size == 0 ? 1 : size;
+}
+
+/** Axis index for a cell: -1 marks an unswept axis. */
+int
+axisIndex(std::size_t size, std::size_t i)
+{
+    return size == 0 ? -1 : static_cast<int>(i);
+}
+
+} // namespace
+
+std::size_t
+SweepGrid::cells() const
+{
+    return axisLen(models.size()) * axisLen(systems.size()) *
+        axisLen(tpDegrees.size()) * axisLen(balancers.size()) *
+        axisLen(schedules.size()) * axisLen(gatings.size()) *
+        axisLen(params.size());
+}
+
+SweepPoint
+SweepGrid::pointAt(std::size_t index) const
+{
+    MOE_ASSERT(index < cells(), "sweep point index out of range");
+    SweepPoint p;
+    p.grid = this;
+    p.index = index;
+
+    // Row-major: models outermost, params innermost.
+    std::size_t rest = index;
+    const std::size_t nParam = axisLen(params.size());
+    const std::size_t nGating = axisLen(gatings.size());
+    const std::size_t nSchedule = axisLen(schedules.size());
+    const std::size_t nBalancer = axisLen(balancers.size());
+    const std::size_t nTp = axisLen(tpDegrees.size());
+    const std::size_t nSystem = axisLen(systems.size());
+
+    p.param = axisIndex(params.size(), rest % nParam);
+    rest /= nParam;
+    p.gating = axisIndex(gatings.size(), rest % nGating);
+    rest /= nGating;
+    p.schedule = axisIndex(schedules.size(), rest % nSchedule);
+    rest /= nSchedule;
+    p.balancer = axisIndex(balancers.size(), rest % nBalancer);
+    rest /= nBalancer;
+    p.tp = axisIndex(tpDegrees.size(), rest % nTp);
+    rest /= nTp;
+    p.system = axisIndex(systems.size(), rest % nSystem);
+    rest /= nSystem;
+    p.model = axisIndex(models.size(), rest);
+    return p;
+}
+
+std::size_t
+SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
+              int gating, int param) const
+{
+    const auto clamp = [](std::size_t size, int i) -> std::size_t {
+        if (size == 0) {
+            MOE_ASSERT(i <= 0, "axis index into an unswept axis");
+            return 0;
+        }
+        MOE_ASSERT(i >= 0 && static_cast<std::size_t>(i) < size,
+                   "axis index out of range");
+        return static_cast<std::size_t>(i);
+    };
+    std::size_t index = clamp(models.size(), model);
+    index = index * axisLen(systems.size()) + clamp(systems.size(), system);
+    index = index * axisLen(tpDegrees.size()) +
+        clamp(tpDegrees.size(), tp);
+    index = index * axisLen(balancers.size()) +
+        clamp(balancers.size(), balancer);
+    index = index * axisLen(schedules.size()) +
+        clamp(schedules.size(), schedule);
+    index = index * axisLen(gatings.size()) + clamp(gatings.size(), gating);
+    index = index * axisLen(params.size()) + clamp(params.size(), param);
+    return index;
+}
+
+const MoEModelConfig &
+SweepPoint::modelConfig() const
+{
+    MOE_ASSERT(model >= 0, "grid does not sweep models");
+    return grid->models[static_cast<std::size_t>(model)];
+}
+
+SystemConfig
+SweepPoint::systemConfig() const
+{
+    MOE_ASSERT(system >= 0, "grid does not sweep systems");
+    SystemConfig sc = grid->systems[static_cast<std::size_t>(system)];
+    if (tp >= 0)
+        sc.tp = grid->tpDegrees[static_cast<std::size_t>(tp)];
+    return sc;
+}
+
+int
+SweepPoint::tpDegree() const
+{
+    if (tp >= 0)
+        return grid->tpDegrees[static_cast<std::size_t>(tp)];
+    MOE_ASSERT(system >= 0, "grid sweeps neither TP nor systems");
+    return grid->systems[static_cast<std::size_t>(system)].tp;
+}
+
+BalancerKind
+SweepPoint::balancerKind() const
+{
+    return balancer >= 0
+        ? grid->balancers[static_cast<std::size_t>(balancer)]
+        : BalancerKind::None;
+}
+
+SchedulingMode
+SweepPoint::schedulingMode() const
+{
+    return schedule >= 0
+        ? grid->schedules[static_cast<std::size_t>(schedule)]
+        : SchedulingMode::DecodeOnly;
+}
+
+GatingMode
+SweepPoint::gatingMode() const
+{
+    return gating >= 0 ? grid->gatings[static_cast<std::size_t>(gating)]
+                       : GatingMode::Balanced;
+}
+
+double
+SweepPoint::parameter() const
+{
+    MOE_ASSERT(param >= 0, "grid does not sweep params");
+    return grid->params[static_cast<std::size_t>(param)];
+}
+
+uint64_t
+SweepPoint::seed(uint64_t base) const
+{
+    // FNV-1a over the axis coordinates: stable across runs, platforms,
+    // and thread schedules. The linear index is deliberately excluded
+    // so a cell keeps its seed when an unrelated axis grows.
+    uint64_t h = 0xCBF29CE484222325ULL ^ base;
+    const auto mix = [&h](uint64_t v) {
+        h ^= v + 1; // +1 so index 0 and "unswept" (-1 → 0) differ
+        h *= 0x100000001B3ULL;
+    };
+    mix(static_cast<uint64_t>(static_cast<int64_t>(model)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(system)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(tp)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(balancer)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(schedule)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(gating)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(param)));
+    return h;
+}
+
+double
+SweepResult::metric(const std::string &key) const
+{
+    for (const auto &[k, v] : metrics)
+        if (k == key)
+            return v;
+    panic("sweep row '" + label + "' has no metric '" + key + "'");
+}
+
+} // namespace moentwine

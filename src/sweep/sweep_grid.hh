@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Sweep grids: the named-axis cartesian products behind every figure
+ * of the paper (model × platform × TP × balancer × schedule × gating
+ * × free parameter).
+ *
+ * A SweepGrid declares axis values; every axis left empty contributes
+ * a single wildcard cell, so drivers only populate the axes their
+ * figure actually sweeps. Cells are addressed by a row-major linear
+ * index (models outermost, params innermost) — SweepPoint carries both
+ * the linear index and the per-axis indices, and at() inverts the
+ * mapping so drivers can render tables in any nesting order after a
+ * run. Each point derives a stable 64-bit seed from its grid
+ * coordinates (FNV-1a), so a cell's engine RNG stream depends only on
+ * where the cell sits in the grid — never on which worker thread ran
+ * it or in what order — which is what makes parallel and serial sweep
+ * runs bit-identical.
+ */
+
+#ifndef MOENTWINE_SWEEP_SWEEP_GRID_HH
+#define MOENTWINE_SWEEP_SWEEP_GRID_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/moentwine.hh"
+
+namespace moentwine {
+
+class SweepGrid;
+
+/** Coordinates of one grid cell plus typed access to its axis values. */
+struct SweepPoint
+{
+    /** Owning grid (outlives the point). */
+    const SweepGrid *grid = nullptr;
+    /** Row-major linear index in [0, grid->cells()). */
+    std::size_t index = 0;
+
+    // Per-axis indices; -1 marks an axis the grid does not sweep.
+    int model = -1;
+    int system = -1;
+    int tp = -1;
+    int balancer = -1;
+    int schedule = -1;
+    int gating = -1;
+    int param = -1;
+
+    /** Model of this cell (grid must sweep models). */
+    const MoEModelConfig &modelConfig() const;
+
+    /**
+     * System configuration of this cell, with the TP-axis override
+     * applied (grid must sweep systems).
+     */
+    SystemConfig systemConfig() const;
+
+    /** TP degree: the TP axis value, else the system config's tp. */
+    int tpDegree() const;
+
+    /** Balancer of this cell (BalancerKind::None when not swept). */
+    BalancerKind balancerKind() const;
+
+    /** Schedule of this cell (DecodeOnly when not swept). */
+    SchedulingMode schedulingMode() const;
+
+    /** Gating mode of this cell (Balanced when not swept). */
+    GatingMode gatingMode() const;
+
+    /** Free parameter of this cell (grid must sweep params). */
+    double parameter() const;
+
+    /**
+     * Stable per-cell RNG seed: an FNV-1a hash of the grid coordinates
+     * mixed with @p base. Equal coordinates give equal seeds on every
+     * run, thread count, and platform, so seeding a cell's engine from
+     * this makes parallel sweeps bit-identical to serial ones.
+     */
+    uint64_t seed(uint64_t base = 42) const;
+};
+
+/**
+ * Named axes of one figure sweep. Populate the axes the figure varies;
+ * empty axes behave as a single unswept wildcard.
+ */
+class SweepGrid
+{
+  public:
+    /** Models under test. */
+    std::vector<MoEModelConfig> models;
+    /** Platforms to build (shared across cells by the runner). */
+    std::vector<SystemConfig> systems;
+    /** TP-degree overrides applied to each system config. */
+    std::vector<int> tpDegrees;
+    /** Balancing strategies. */
+    std::vector<BalancerKind> balancers;
+    /** Iteration compositions. */
+    std::vector<SchedulingMode> schedules;
+    /** Gating / workload regimes. */
+    std::vector<GatingMode> gatings;
+    /** Free numeric axis (EP degree, ablation step, ...). */
+    std::vector<double> params;
+
+    /** Total cell count: product over axes of max(1, axis size). */
+    std::size_t cells() const;
+
+    /** The point at row-major linear index @p index. */
+    SweepPoint pointAt(std::size_t index) const;
+
+    /**
+     * Linear index of the cell with the given per-axis indices; pass
+     * -1 (or 0) for unswept axes. Lets drivers look rows up in any
+     * rendering order after a run.
+     */
+    std::size_t at(int model = -1, int system = -1, int tp = -1,
+                   int balancer = -1, int schedule = -1, int gating = -1,
+                   int param = -1) const;
+};
+
+/** One row of sweep output: a label plus ordered (key, value) metrics. */
+struct SweepResult
+{
+    /** Linear grid index of the producing cell (set by the runner). */
+    std::size_t index = 0;
+    /** Human-readable cell label for tables and emitted rows. */
+    std::string label;
+    /** Ordered metrics; keys are stable across cells of one sweep. */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    /** Append one metric. */
+    void add(const std::string &key, double value)
+    {
+        metrics.emplace_back(key, value);
+    }
+
+    /** Value of @p key; panics when the row does not carry it. */
+    double metric(const std::string &key) const;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_SWEEP_SWEEP_GRID_HH

@@ -1,0 +1,143 @@
+#include "sweep/sweep_runner.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+SweepRunner::SweepRunner(int jobs)
+    : jobs_(resolveJobs(jobs))
+{
+}
+
+int
+SweepRunner::resolveJobs(int requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("MOENTWINE_JOBS")) {
+        const int fromEnv = std::atoi(env);
+        if (fromEnv > 0)
+            return fromEnv;
+        warn("ignoring MOENTWINE_JOBS='" + std::string(env) + "'");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int
+SweepRunner::jobsFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        const char *value = nullptr;
+        if (std::strcmp(arg, "--jobs") == 0) {
+            if (i + 1 >= argc)
+                fatal("--jobs requires a value");
+            value = argv[i + 1];
+        } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
+            value = arg + 7;
+        } else {
+            continue;
+        }
+        const int jobs = std::atoi(value);
+        if (jobs <= 0)
+            fatal("--jobs expects a positive integer (got '" +
+                  std::string(value) + "')");
+        return jobs;
+    }
+    return 0;
+}
+
+std::vector<SweepResult>
+SweepRunner::run(const SweepGrid &grid, const CellFn &fn) const
+{
+    const std::size_t cells = grid.cells();
+    std::vector<SweepResult> rows(cells);
+    if (cells == 0)
+        return rows;
+
+    // One System per (system, TP) axis pair, shared by every cell with
+    // those coordinates. Slots build lazily under a call_once so the
+    // expensive platform finalization (all-pairs routes, dispatch
+    // memos) runs on whichever worker needs it first — in parallel
+    // across distinct platforms — instead of serially before the pool
+    // starts. The config always comes from SweepPoint::systemConfig(),
+    // the single source of truth for the TP-override rule.
+    struct SystemSlot
+    {
+        std::once_flag once;
+        std::shared_ptr<const System> system;
+    };
+    const std::size_t nTp =
+        grid.tpDegrees.empty() ? 1 : grid.tpDegrees.size();
+    std::vector<SystemSlot> slots(grid.systems.size() * nTp);
+    const auto systemFor =
+        [&](const SweepPoint &p) -> std::shared_ptr<const System> {
+        if (p.system < 0)
+            return nullptr;
+        const std::size_t t = p.tp < 0 ? 0 : static_cast<std::size_t>(p.tp);
+        SystemSlot &slot =
+            slots[static_cast<std::size_t>(p.system) * nTp + t];
+        std::call_once(slot.once, [&] {
+            slot.system =
+                std::make_shared<System>(System::make(p.systemConfig()));
+        });
+        return slot.system;
+    };
+
+    // Work queue: an atomic cursor over the linear cell range. Rows are
+    // written at their grid index, making the output order independent
+    // of completion order.
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr firstError;
+    std::mutex errorMutex;
+
+    const auto work = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= cells || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                const SweepPoint point = grid.pointAt(i);
+                SweepCell cell{point, systemFor(point)};
+                rows[i] = fn(cell);
+                rows[i].index = i;
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    const std::size_t workers = std::min<std::size_t>(
+        static_cast<std::size_t>(jobs_), cells);
+    if (workers <= 1) {
+        // Serial reference path: inline on the calling thread.
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+    if (firstError)
+        std::rethrow_exception(firstError);
+    return rows;
+}
+
+} // namespace moentwine

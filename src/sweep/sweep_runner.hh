@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parallel grid execution for the figure sweeps.
+ *
+ * SweepRunner executes every cell of a SweepGrid on a fixed-size
+ * thread pool (plain std::thread workers draining an atomic cell
+ * counter). Determinism contract:
+ *  - the result vector is indexed by grid order, so rows come back in
+ *    the same order regardless of which worker finished first;
+ *  - each cell builds its own engine/workload state and derives any
+ *    randomness from SweepPoint::seed(), so a cell's row is a pure
+ *    function of its coordinates and `--jobs N` output is
+ *    byte-identical to `--jobs 1`.
+ *
+ * Systems (topology + mapping) are built once per (system, TP) axis
+ * pair — lazily, under a per-slot once-guard, on whichever worker
+ * first needs the platform — finalized (no lazy caches), and handed
+ * to cells as shared_ptr<const System> — safe to share because a
+ * finalized System is deeply immutable (see core/moentwine.hh).
+ *
+ * Job-count convention, used by every converted bench driver:
+ *   --jobs N argument > MOENTWINE_JOBS env > hardware_concurrency().
+ */
+
+#ifndef MOENTWINE_SWEEP_SWEEP_RUNNER_HH
+#define MOENTWINE_SWEEP_SWEEP_RUNNER_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sweep/sweep_grid.hh"
+
+namespace moentwine {
+
+/** One unit of work handed to a sweep cell function. */
+struct SweepCell
+{
+    /** Grid coordinates and axis values of this cell. */
+    SweepPoint point;
+    /**
+     * Prebuilt system for the cell's (system, TP) coordinates, shared
+     * across all cells and worker threads; null when the grid does not
+     * sweep systems (cells that need no platform, or drivers managing
+     * their own shared systems).
+     */
+    std::shared_ptr<const System> system;
+};
+
+/**
+ * Fixed-size thread pool over sweep grids.
+ */
+class SweepRunner
+{
+  public:
+    /** Computes one result row from one cell; must be thread-safe. */
+    using CellFn = std::function<SweepResult(const SweepCell &)>;
+
+    /**
+     * @param jobs Worker count; 0 resolves MOENTWINE_JOBS, then
+     *             hardware_concurrency() (see resolveJobs()).
+     */
+    explicit SweepRunner(int jobs = 0);
+
+    /** The resolved worker count. */
+    int jobs() const { return jobs_; }
+
+    /**
+     * Execute every cell of @p grid through @p fn and return the rows
+     * in grid order. With jobs() == 1 the cells run inline on the
+     * calling thread — the serial reference the parallel output is
+     * byte-identical to. A cell that throws aborts the sweep: the
+     * first exception (in completion order) is rethrown on the caller
+     * after the pool drains.
+     */
+    std::vector<SweepResult> run(const SweepGrid &grid,
+                                 const CellFn &fn) const;
+
+    /**
+     * Resolve a requested job count: @p requested when positive, else
+     * the MOENTWINE_JOBS environment variable when set and positive,
+     * else std::thread::hardware_concurrency() (min 1).
+     */
+    static int resolveJobs(int requested);
+
+    /**
+     * Parse a `--jobs N` / `--jobs=N` argument out of argv (first
+     * occurrence wins). Returns 0 when absent, so the result feeds
+     * straight into the constructor. Malformed values are fatal().
+     */
+    static int jobsFromArgs(int argc, char **argv);
+
+  private:
+    int jobs_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_SWEEP_SWEEP_RUNNER_HH

@@ -7,6 +7,41 @@
 
 namespace moentwine {
 
+RouteTable &
+RouteTable::operator=(const RouteTable &other)
+{
+    if (this == &other)
+        return *this;
+    devices_ = other.devices_;
+    disabled_ = other.disabled_;
+    offsets_ = other.offsets_;
+    paths_ = other.paths_;
+    latency_ = other.latency_;
+    minBw_ = other.minBw_;
+    invBwSum_ = other.invBwSum_;
+    built_.store(other.built_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+    return *this;
+}
+
+RouteTable &
+RouteTable::operator=(RouteTable &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    devices_ = other.devices_;
+    disabled_ = other.disabled_;
+    offsets_ = std::move(other.offsets_);
+    paths_ = std::move(other.paths_);
+    latency_ = std::move(other.latency_);
+    minBw_ = std::move(other.minBw_);
+    invBwSum_ = std::move(other.invBwSum_);
+    built_.store(other.built_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+    other.built_.store(false, std::memory_order_release);
+    return *this;
+}
+
 void
 RouteTable::build(const Topology &topo)
 {
@@ -48,14 +83,15 @@ RouteTable::build(const Topology &topo)
             invBwSum_[p] = invBw;
         }
     }
-    built_ = true;
+    // Publish the finished arena: pairs with built() acquire loads.
+    built_.store(true, std::memory_order_release);
 }
 
 void
 RouteTable::disableCache()
 {
     disabled_ = true;
-    built_ = false;
+    built_.store(false, std::memory_order_release);
     devices_ = 0;
     offsets_.clear();
     offsets_.shrink_to_fit();

@@ -81,6 +81,12 @@ Topology::routeTable() const
 void
 Topology::ensureRoutes() const
 {
+    // Double-checked build: the fast path is one acquire load; the
+    // slow path serialises racing first users behind a mutex so a
+    // shared const topology is safe even without finalizeRoutes().
+    if (routes_.built())
+        return;
+    std::lock_guard<std::mutex> guard(routeBuildMutex_);
     if (!routes_.built() && !routes_.disabled())
         routes_.build(*this);
 }

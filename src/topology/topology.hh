@@ -21,9 +21,12 @@
 #ifndef MOENTWINE_TOPOLOGY_TOPOLOGY_HH
 #define MOENTWINE_TOPOLOGY_TOPOLOGY_HH
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace moentwine {
@@ -99,11 +102,27 @@ class Topology;
 class RouteTable
 {
   public:
+    RouteTable() = default;
+
+    // Copies/moves transfer the table data and the built flag. They
+    // exist so topology factories can return by value; copying a table
+    // that another thread is concurrently building is not supported
+    // (finalized topologies are shared by pointer, never copied).
+    RouteTable(const RouteTable &other) { *this = other; }
+    RouteTable(RouteTable &&other) noexcept { *this = std::move(other); }
+    RouteTable &operator=(const RouteTable &other);
+    RouteTable &operator=(RouteTable &&other) noexcept;
+
     /** Precompute all-pairs routes by calling topo.computeRoute(). */
     void build(const Topology &topo);
 
-    /** True once build() has run (and the cache is not disabled). */
-    bool built() const { return built_; }
+    /**
+     * True once build() has run (and the cache is not disabled). An
+     * acquire load: a true result makes the arena built by another
+     * thread visible, which is what lets worker threads share one
+     * finalized topology without synchronising per query.
+     */
+    bool built() const { return built_.load(std::memory_order_acquire); }
 
     /**
      * Test hook: drop the table and make built() stay false so the
@@ -160,7 +179,9 @@ class RouteTable
     }
 
     int devices_ = 0;
-    bool built_ = false;
+    // Release-published by build(); see built(). Makes the table safe
+    // to race-check from concurrent const queries.
+    std::atomic<bool> built_{false};
     bool disabled_ = false;
     std::vector<std::size_t> offsets_;
     std::vector<LinkId> paths_;
@@ -172,13 +193,57 @@ class RouteTable
 /**
  * Base class for all network topologies.
  *
- * Route queries are served from a lazily built RouteTable; the class is
- * therefore not safe for concurrent first use from multiple threads.
+ * Route queries are served from a lazily built RouteTable. The lazy
+ * build is guarded (double-checked mutex + release-published flag), so
+ * a fully constructed topology is safe to share across threads through
+ * `const` references — including concurrent first use. Call
+ * finalizeRoutes() to pay the build cost eagerly (System::make does)
+ * so worker threads never contend on the guard.
+ *
+ * The disableRouteCache()/enableRouteCache() test hooks mutate cache
+ * state and are NOT thread-safe; they exist for single-threaded
+ * baseline benchmarking only.
  */
 class Topology
 {
   public:
     virtual ~Topology() = default;
+
+    // Copy/move keep links, adjacency, and any built route table, and
+    // start with a fresh (unheld) build mutex. They exist so concrete
+    // factories can return by value; topologies in active concurrent
+    // use are shared by const pointer/reference, never copied.
+    Topology(const Topology &other)
+        : links_(other.links_),
+          outIndex_(other.outIndex_),
+          routes_(other.routes_)
+    {
+    }
+
+    Topology(Topology &&other) noexcept
+        : links_(std::move(other.links_)),
+          outIndex_(std::move(other.outIndex_)),
+          routes_(std::move(other.routes_))
+    {
+    }
+
+    Topology &operator=(const Topology &other)
+    {
+        links_ = other.links_;
+        outIndex_ = other.outIndex_;
+        routes_ = other.routes_;
+        uncachedScratch_.clear();
+        return *this;
+    }
+
+    Topology &operator=(Topology &&other) noexcept
+    {
+        links_ = std::move(other.links_);
+        outIndex_ = std::move(other.outIndex_);
+        routes_ = std::move(other.routes_);
+        uncachedScratch_.clear();
+        return *this;
+    }
 
     /** Number of compute devices (excludes internal switch nodes). */
     virtual int numDevices() const = 0;
@@ -242,7 +307,17 @@ class Topology
     /** Undo disableRouteCache(); the table rebuilds on next query. */
     void enableRouteCache() { routes_.enableCache(); }
 
+    /**
+     * Eagerly build the all-pairs route cache (no-op when it is
+     * already built or disabled). Invoked at topology finalization by
+     * System::make so a System can be shared as shared_ptr<const>
+     * across sweep worker threads with no lazy state left to race on.
+     */
+    void finalizeRoutes() const { ensureRoutes(); }
+
   protected:
+    Topology() = default;
+
     /** Append a link and register it in the adjacency index. */
     LinkId addLink(NodeId src, NodeId dst, double bandwidth, double latency);
 
@@ -257,7 +332,11 @@ class Topology
 
     // Lazily built all-pairs cache; mutable so const queries can build.
     mutable RouteTable routes_;
+    // Serialises the lazy build when several threads race on first use.
+    mutable std::mutex routeBuildMutex_;
     // Backing storage for route() views while the cache is disabled.
+    // Deliberately unguarded: the disabled mode is a single-threaded
+    // benchmarking hook.
     mutable std::vector<LinkId> uncachedScratch_;
 };
 

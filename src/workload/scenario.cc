@@ -23,11 +23,13 @@ scenarioName(ScenarioKind kind)
     panic("unknown scenario kind");
 }
 
-std::vector<ScenarioKind>
+const std::vector<ScenarioKind> &
 allScenarios()
 {
-    return {ScenarioKind::Chat, ScenarioKind::Coding, ScenarioKind::Math,
-            ScenarioKind::Privacy};
+    static const std::vector<ScenarioKind> kAll = {
+        ScenarioKind::Chat, ScenarioKind::Coding, ScenarioKind::Math,
+        ScenarioKind::Privacy};
+    return kAll;
 }
 
 std::vector<double>

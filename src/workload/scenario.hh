@@ -36,8 +36,12 @@ enum class ScenarioKind
 /** Human-readable scenario name. */
 std::string scenarioName(ScenarioKind kind);
 
-/** All four scenarios in the paper's order. */
-std::vector<ScenarioKind> allScenarios();
+/**
+ * All four scenarios in the paper's order. Returns a reference to a
+ * function-local constant so per-iteration callers (the MixedScenario
+ * drift check) stay allocation-free.
+ */
+const std::vector<ScenarioKind> &allScenarios();
 
 /**
  * Per-scenario, per-layer expert affinity: unnormalised selection

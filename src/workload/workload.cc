@@ -66,13 +66,26 @@ WorkloadGenerator::WorkloadGenerator(const WorkloadConfig &cfg)
     MOE_ASSERT(cfg.topK > 0 && cfg.topK <= cfg.numExperts,
                "topK must be in [1, numExperts]");
     MOE_ASSERT(cfg.mixPeriod > 0, "mixPeriod must be positive");
+    MOE_ASSERT(cfg.aliasRebuildPeriod > 0,
+               "aliasRebuildPeriod must be positive");
+    MOE_ASSERT(cfg.aliasDriftTolerance >= 0.0,
+               "aliasDriftTolerance must be non-negative");
 }
 
 std::vector<double>
 WorkloadGenerator::mixtureWeights(int iteration) const
 {
-    const auto scenarios = allScenarios();
-    std::vector<double> mix(scenarios.size(), 0.0);
+    std::vector<double> mix;
+    mixtureWeightsInto(iteration, mix);
+    return mix;
+}
+
+void
+WorkloadGenerator::mixtureWeightsInto(int iteration,
+                                      std::vector<double> &mix) const
+{
+    const auto &scenarios = allScenarios();
+    mix.assign(scenarios.size(), 0.0);
     switch (cfg_.mode) {
       case GatingMode::Balanced:
         // Unused, but keep a defined value.
@@ -101,7 +114,6 @@ WorkloadGenerator::mixtureWeights(int iteration) const
         break;
       }
     }
-    return mix;
 }
 
 void
@@ -112,7 +124,7 @@ WorkloadGenerator::affinityInto(int iteration, int layer,
     if (cfg_.mode == GatingMode::Balanced) {
         std::fill(weights.begin(), weights.end(), 1.0);
     } else {
-        const auto scenarios = allScenarios();
+        const auto &scenarios = allScenarios();
         if (cachedLayer_ != layer) {
             scenarioBase_.clear();
             scenarioBase_.reserve(scenarios.size());
@@ -163,15 +175,46 @@ WorkloadGenerator::sampleCountsInto(int iteration, int layer,
     MOE_ASSERT(tokensPerGroup >= 0, "negative token count");
     MOE_ASSERT(dpGroups > 0, "dpGroups must be positive");
 
-    // Rebuild the alias table only when the affinity changed: every
-    // iteration under a drifting mixture, once per layer otherwise.
+    // Rebuild the alias table only when the affinity changed enough to
+    // matter: once per layer in the fixed regimes; under a drifting
+    // mixture on a coarse cadence — at most every aliasRebuildPeriod
+    // iterations, earlier when the mixture's L1 drift since the last
+    // build exceeds aliasDriftTolerance. The mixture rotates once per
+    // mixPeriod iterations, so between rebuilds the sampler draws from
+    // a boundedly stale distribution (the balancers react on EMAs far
+    // slower than that).
     const bool drifting = cfg_.mode == GatingMode::MixedScenario;
-    if (alias_.size() == 0 || layer != aliasLayer_ ||
-        (drifting && iteration != aliasIteration_)) {
+    bool rebuild = alias_.size() == 0 || layer != aliasLayer_;
+    bool mixInScratch = false;
+    if (!rebuild && drifting && iteration != aliasIteration_) {
+        // Non-monotonic iteration jumps (tests, replays) force a
+        // rebuild rather than trusting a stale age computation.
+        const bool aged = iteration < aliasIteration_ ||
+            iteration - aliasIteration_ >= cfg_.aliasRebuildPeriod;
+        if (aged) {
+            rebuild = true;
+        } else {
+            mixtureWeightsInto(iteration, mixScratch_);
+            mixInScratch = true;
+            double drift = 0.0;
+            for (std::size_t s = 0; s < mixScratch_.size(); ++s)
+                drift += std::abs(mixScratch_[s] - aliasMix_[s]);
+            rebuild = drift > cfg_.aliasDriftTolerance;
+        }
+    }
+    if (rebuild) {
         affinityInto(iteration, layer, affinityScratch_);
         alias_.build(affinityScratch_);
         aliasIteration_ = iteration;
         aliasLayer_ = layer;
+        if (drifting) {
+            // The drift branch already computed this iteration's
+            // mixture; adopt it instead of recomputing.
+            if (mixInScratch)
+                aliasMix_.swap(mixScratch_);
+            else
+                mixtureWeightsInto(iteration, aliasMix_);
+        }
     }
 
     counts.resize(static_cast<std::size_t>(dpGroups));

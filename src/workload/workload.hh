@@ -77,6 +77,21 @@ struct WorkloadConfig
     double zipf = 1.0;
     /** Iterations per full mixture rotation (MixedScenario mode). */
     int mixPeriod = 400;
+    /**
+     * MixedScenario alias-table rebuild cadence: the drifting mixture
+     * moves slowly (one rotation per mixPeriod iterations), so the
+     * sampler tolerates a slightly stale table instead of paying the
+     * O(experts) rebuild every iteration. A rebuild is forced when
+     * this many iterations passed since the last one, or earlier when
+     * the mixture moved more than aliasDriftTolerance since then.
+     * Set to 1 to rebuild every iteration (the pre-cadence behaviour).
+     */
+    int aliasRebuildPeriod = 16;
+    /**
+     * L1 distance of the scenario mixture weights (Σ|m_i − m_i'|, in
+     * [0, 2]) from the last alias build that forces an early rebuild.
+     */
+    double aliasDriftTolerance = 0.1;
     /** Base seed; equal configs generate equal traces. */
     uint64_t seed = 42;
 };
@@ -134,6 +149,10 @@ class WorkloadGenerator
     /** Mixture weight of each scenario at the given iteration. */
     std::vector<double> mixtureWeights(int iteration) const;
 
+    /** In-place mixtureWeights() (reuses @p mix storage). */
+    void mixtureWeightsInto(int iteration,
+                            std::vector<double> &mix) const;
+
     /** Compute affinity() into @p weights, reusing cached scenario
      *  base affinities (they depend only on the layer). */
     void affinityInto(int iteration, int layer,
@@ -146,12 +165,18 @@ class WorkloadGenerator
     mutable int cachedLayer_ = -1;
     mutable std::vector<std::vector<double>> scenarioBase_;
     // Scratch affinity plus the alias table sampleCountsInto() draws
-    // from; the table is rebuilt only when the affinity changes (every
-    // iteration in MixedScenario mode, once per layer otherwise).
+    // from; the table is rebuilt only when the affinity changes: once
+    // per layer in the fixed regimes, and on the coarse
+    // aliasRebuildPeriod / aliasDriftTolerance cadence under a
+    // drifting MixedScenario mixture.
     std::vector<double> affinityScratch_;
     AliasTable alias_;
     int aliasIteration_ = -1;
     int aliasLayer_ = -1;
+    // Mixture weights at the last alias build (drift reference) and
+    // the scratch the per-iteration drift check fills.
+    std::vector<double> aliasMix_;
+    std::vector<double> mixScratch_;
 };
 
 /**

@@ -1,0 +1,345 @@
+/**
+ * @file
+ * Tests for the parallel sweep subsystem:
+ *  - grid indexing: linear↔axis round trips, wildcard axes, cell
+ *    counts, and the stability of per-cell seeds;
+ *  - determinism: a real engine grid run with 4 workers produces rows
+ *    bitwise-identical (labels and metric doubles) to a serial run, in
+ *    identical order;
+ *  - shared-system thread safety: engines sharing one
+ *    shared_ptr<const System> (and, separately, one lazily-built raw
+ *    topology+mapping, exercising the once-guarded cold caches) across
+ *    threads produce the same timelines as engines with private
+ *    copies — the route-cache/dispatch-memo regression test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+
+using namespace moentwine;
+
+namespace {
+
+/** Engine config of one grid cell (the fig16-style serving setup). */
+EngineConfig
+cellEngineConfig(const SweepPoint &p)
+{
+    EngineConfig ec;
+    ec.model = p.modelConfig();
+    ec.schedule = SchedulingMode::DecodeOnly;
+    ec.decodeTokensPerGroup = 64;
+    ec.workload.mode = GatingMode::MixedScenario;
+    ec.workload.mixPeriod = 30;
+    ec.workload.seed = p.seed();
+    ec.balancer = p.balancerKind();
+    ec.alpha = 0.5;
+    ec.beta = 5;
+    return ec;
+}
+
+/** Run a cell's engine and fold the full timeline into metrics. */
+SweepResult
+runCell(const SweepCell &cell)
+{
+    const EngineConfig ec = cellEngineConfig(cell.point);
+    InferenceEngine engine(cell.system->mapping(), ec);
+    double layer = 0.0;
+    double a2a = 0.0;
+    double migration = 0.0;
+    for (const auto &s : engine.run(12)) {
+        layer += s.layerTime(ec.pipelineStages);
+        a2a += s.allToAll();
+        migration += s.migrationOverhead;
+    }
+    SweepResult row;
+    row.label = cell.system->name() + " #" +
+        std::to_string(cell.point.index);
+    row.add("layer_s", layer);
+    row.add("a2a_s", a2a);
+    row.add("migration_s", migration);
+    return row;
+}
+
+/** The engine grid the determinism tests run. */
+SweepGrid
+engineGrid()
+{
+    SweepGrid grid;
+    grid.models = {qwen3(), deepseekV3()};
+    SystemConfig wsc;
+    wsc.platform = PlatformKind::WscEr;
+    wsc.meshN = 4;
+    wsc.tp = 4;
+    SystemConfig dgx;
+    dgx.platform = PlatformKind::DgxCluster;
+    dgx.dgxNodes = 2;
+    dgx.tp = 4;
+    grid.systems = {wsc, dgx};
+    grid.balancers = {BalancerKind::None, BalancerKind::NonInvasive,
+                      BalancerKind::TopologyAware};
+    return grid;
+}
+
+/** Bitwise row equality: labels, metric keys, and metric doubles. */
+void
+expectRowsIdentical(const std::vector<SweepResult> &a,
+                    const std::vector<SweepResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].index, b[i].index);
+        EXPECT_EQ(a[i].label, b[i].label) << "row " << i;
+        ASSERT_EQ(a[i].metrics.size(), b[i].metrics.size());
+        for (std::size_t m = 0; m < a[i].metrics.size(); ++m) {
+            EXPECT_EQ(a[i].metrics[m].first, b[i].metrics[m].first);
+            // Bitwise, not approximate: parallel execution must not
+            // perturb a single ULP of any cell's arithmetic.
+            EXPECT_EQ(a[i].metrics[m].second, b[i].metrics[m].second)
+                << "row " << i << " metric "
+                << a[i].metrics[m].first;
+        }
+    }
+}
+
+} // namespace
+
+// ------------------------------------------------------------- grid ----
+
+TEST(SweepGridTest, CellCountIsAxisProductWithWildcards)
+{
+    SweepGrid grid;
+    EXPECT_EQ(grid.cells(), 1u); // all axes wildcard
+    grid.models = {qwen3(), deepseekV3()};
+    grid.params = {1, 2, 3};
+    EXPECT_EQ(grid.cells(), 6u);
+    grid.balancers = {BalancerKind::None, BalancerKind::Greedy};
+    EXPECT_EQ(grid.cells(), 12u);
+}
+
+TEST(SweepGridTest, PointAtInvertsAt)
+{
+    const SweepGrid grid = engineGrid();
+    for (std::size_t i = 0; i < grid.cells(); ++i) {
+        const SweepPoint p = grid.pointAt(i);
+        EXPECT_EQ(p.index, i);
+        EXPECT_EQ(grid.at(p.model, p.system, p.tp, p.balancer,
+                          p.schedule, p.gating, p.param),
+                  i);
+        EXPECT_EQ(p.tp, -1);    // unswept axes report -1
+        EXPECT_EQ(p.param, -1);
+    }
+}
+
+TEST(SweepGridTest, RowMajorOrderParamsInnermost)
+{
+    SweepGrid grid;
+    grid.models = {qwen3(), deepseekV3()};
+    grid.params = {10, 20};
+    const SweepPoint p0 = grid.pointAt(0);
+    const SweepPoint p1 = grid.pointAt(1);
+    const SweepPoint p2 = grid.pointAt(2);
+    EXPECT_EQ(p0.model, 0);
+    EXPECT_EQ(p0.param, 0);
+    EXPECT_EQ(p1.model, 0);
+    EXPECT_EQ(p1.param, 1); // params advance first
+    EXPECT_EQ(p2.model, 1);
+    EXPECT_EQ(p2.param, 0);
+}
+
+TEST(SweepGridTest, SeedsAreStableAndDistinct)
+{
+    const SweepGrid grid = engineGrid();
+    std::set<uint64_t> seeds;
+    for (std::size_t i = 0; i < grid.cells(); ++i) {
+        const uint64_t s = grid.pointAt(i).seed();
+        EXPECT_EQ(s, grid.pointAt(i).seed()) << "seed not stable";
+        seeds.insert(s);
+    }
+    // FNV-1a over distinct coordinates: no collisions on a small grid.
+    EXPECT_EQ(seeds.size(), grid.cells());
+    // A different base seed shifts every cell's stream.
+    EXPECT_NE(grid.pointAt(0).seed(1), grid.pointAt(0).seed(2));
+}
+
+TEST(SweepGridTest, TpAxisOverridesSystemConfig)
+{
+    SweepGrid grid;
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscEr;
+    sc.meshN = 4;
+    sc.tp = 4;
+    grid.systems = {sc};
+    grid.tpDegrees = {2, 8};
+    EXPECT_EQ(grid.pointAt(0).systemConfig().tp, 2);
+    EXPECT_EQ(grid.pointAt(1).systemConfig().tp, 8);
+    EXPECT_EQ(grid.pointAt(1).tpDegree(), 8);
+}
+
+// ----------------------------------------------------------- runner ----
+
+TEST(SweepRunnerTest, JobsFromArgsParsesBothSpellings)
+{
+    const char *argv1[] = {"bench", "--jobs", "3"};
+    EXPECT_EQ(SweepRunner::jobsFromArgs(3, const_cast<char **>(argv1)),
+              3);
+    const char *argv2[] = {"bench", "50", "--jobs=7"};
+    EXPECT_EQ(SweepRunner::jobsFromArgs(3, const_cast<char **>(argv2)),
+              7);
+    const char *argv3[] = {"bench", "50"};
+    EXPECT_EQ(SweepRunner::jobsFromArgs(2, const_cast<char **>(argv3)),
+              0);
+}
+
+TEST(SweepRunnerTest, ResolvePositiveRequestWins)
+{
+    EXPECT_EQ(SweepRunner::resolveJobs(5), 5);
+    EXPECT_GE(SweepRunner::resolveJobs(0), 1);
+}
+
+TEST(SweepRunnerTest, ParallelRowsIdenticalToSerial)
+{
+    const SweepGrid grid = engineGrid();
+    const SweepRunner serial(1);
+    const SweepRunner parallel(4);
+    const auto serialRows = serial.run(grid, runCell);
+    const auto parallelRows = parallel.run(grid, runCell);
+    ASSERT_EQ(serialRows.size(), grid.cells());
+    expectRowsIdentical(serialRows, parallelRows);
+    // Rows arrive in grid order regardless of completion order.
+    for (std::size_t i = 0; i < serialRows.size(); ++i)
+        EXPECT_EQ(parallelRows[i].index, i);
+}
+
+TEST(SweepRunnerTest, RepeatedParallelRunsAreIdentical)
+{
+    const SweepGrid grid = engineGrid();
+    const SweepRunner parallel(3);
+    const auto first = parallel.run(grid, runCell);
+    const auto second = parallel.run(grid, runCell);
+    expectRowsIdentical(first, second);
+}
+
+TEST(SweepRunnerTest, CellExceptionPropagates)
+{
+    SweepGrid grid;
+    grid.params = {0, 1, 2, 3};
+    const SweepRunner runner(2);
+    EXPECT_THROW(runner.run(grid,
+                            [](const SweepCell &cell) -> SweepResult {
+                                if (cell.point.parameter() >= 2)
+                                    throw std::runtime_error("boom");
+                                return SweepResult{};
+                            }),
+                 std::runtime_error);
+}
+
+// ------------------------------------------- shared-system safety ----
+
+TEST(SweepSharedSystemTest, SharedSystemMatchesPrivateCopies)
+{
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscHer;
+    sc.meshN = 4;
+    sc.wafers = 2;
+    sc.tp = 4;
+    const auto shared =
+        std::make_shared<const System>(System::make(sc));
+
+    EngineConfig ec;
+    ec.model = qwen3();
+    ec.decodeTokensPerGroup = 64;
+    ec.workload.mode = GatingMode::MixedScenario;
+    ec.workload.mixPeriod = 30;
+    ec.balancer = BalancerKind::NonInvasive;
+    ec.alpha = 0.5;
+    ec.beta = 5;
+
+    // Reference timelines from engines on private System copies.
+    constexpr int kThreads = 4;
+    constexpr int kIters = 10;
+    std::vector<std::vector<IterationStats>> expected(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        EngineConfig mine = ec;
+        mine.workload.seed = 1000 + static_cast<uint64_t>(t);
+        const System priv = System::make(sc);
+        expected[static_cast<std::size_t>(t)] =
+            InferenceEngine(priv.mapping(), mine).run(kIters);
+    }
+
+    // Same engines, all sharing one const System across threads.
+    std::vector<std::vector<IterationStats>> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            EngineConfig mine = ec;
+            mine.workload.seed = 1000 + static_cast<uint64_t>(t);
+            got[static_cast<std::size_t>(t)] =
+                InferenceEngine(shared->mapping(), mine).run(kIters);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    for (int t = 0; t < kThreads; ++t) {
+        const auto &e = expected[static_cast<std::size_t>(t)];
+        const auto &g = got[static_cast<std::size_t>(t)];
+        ASSERT_EQ(e.size(), g.size());
+        for (std::size_t i = 0; i < e.size(); ++i) {
+            EXPECT_EQ(e[i].allReduce, g[i].allReduce);
+            EXPECT_EQ(e[i].dispatch, g[i].dispatch);
+            EXPECT_EQ(e[i].combine, g[i].combine);
+            EXPECT_EQ(e[i].moeTime, g[i].moeTime);
+            EXPECT_EQ(e[i].migrationOverhead, g[i].migrationOverhead);
+            EXPECT_EQ(e[i].loadMax, g[i].loadMax);
+            EXPECT_EQ(e[i].migrationsCompleted,
+                      g[i].migrationsCompleted);
+        }
+    }
+}
+
+TEST(SweepSharedSystemTest, ConcurrentFirstUseOfLazyCachesIsSafe)
+{
+    // Raw topology + mapping, deliberately NOT prewarmed: the first
+    // route()/dispatchSourceCached() calls race from worker threads
+    // and must all observe a consistent table (once-guard regression).
+    const MeshTopology mesh = MeshTopology::waferRow(2, 4);
+    const ErMapping er(mesh, ParallelismConfig{2, 2});
+
+    EngineConfig ec;
+    ec.model = qwen3();
+    ec.decodeTokensPerGroup = 32;
+    ec.workload.mode = GatingMode::MixedScenario;
+
+    constexpr int kThreads = 4;
+    std::vector<std::vector<IterationStats>> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&, t] {
+            got[static_cast<std::size_t>(t)] =
+                InferenceEngine(er, ec).run(6);
+        });
+    }
+    for (auto &thread : threads)
+        thread.join();
+
+    // Identical configs on identical mappings: every thread must see
+    // the exact same timeline.
+    for (int t = 1; t < kThreads; ++t) {
+        const auto &a = got[0];
+        const auto &b = got[static_cast<std::size_t>(t)];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].allReduce, b[i].allReduce);
+            EXPECT_EQ(a[i].dispatch, b[i].dispatch);
+            EXPECT_EQ(a[i].combine, b[i].combine);
+            EXPECT_EQ(a[i].moeTime, b[i].moeTime);
+        }
+    }
+}
