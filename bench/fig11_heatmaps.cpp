@@ -11,34 +11,54 @@
  *
  * Cases match Fig. 11(c): a 4×4 wafer with DP=8/TP=2 and a 6×6 wafer
  * with DP=9/TP=4, plus the canonical 4×4 DP=4/TP=4.
+ *
+ * The complementarity metrics run on the SweepRunner case grid
+ * (`--jobs N`); the ASCII heatmaps render serially afterwards.
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
 
 using namespace moentwine;
 
 namespace {
 
-void
-heatmaps(int meshN, int tp)
+struct Case
 {
-    const MeshTopology mesh = MeshTopology::singleWafer(meshN);
-    const auto par = decomposeTp(tp, meshN, meshN);
+    int meshN;
+    int tp;
+};
+
+constexpr Case kCases[] = {
+    {4, 4}, // canonical Fig. 11(a)/(b) case
+    {4, 2}, // Fig. 11(c), 4x4 DP=8 TP=2
+    {6, 4}, // Fig. 11(c), 6x6 DP=9 TP=4
+};
+
+/** Rendered AR/A2A heatmaps of one case (filled by the cell worker). */
+struct Heatmaps
+{
+    std::string ar;
+    std::string a2a;
+};
+
+/** Inter-FTD volume share (%) of each phase of one case; renders the
+ *  case's heatmaps into @p maps as a side effect. */
+SweepResult
+complementarity(const Case &c, Heatmaps &maps)
+{
+    const MeshTopology mesh = MeshTopology::singleWafer(c.meshN);
+    const auto par = decomposeTp(c.tp, c.meshN, c.meshN);
     const ErMapping er(mesh, par);
-    std::printf("-- %dx%d WSC, %s (DP=%d) --\n", meshN, meshN,
-                par.label().c_str(), er.dp());
-
     const auto comm = evaluateCommunication(er, deepseekV3(), 256, true);
+    maps.ar = comm.arTraffic.heatmapAscii(mesh);
+    maps.a2a = comm.a2aTraffic.heatmapAscii(mesh);
 
-    std::printf("all-reduce traffic (hot = FTD connections):\n%s\n",
-                comm.arTraffic.heatmapAscii(mesh).c_str());
-    std::printf("all-to-all traffic (confined within FTDs):\n%s\n",
-                comm.a2aTraffic.heatmapAscii(mesh).c_str());
-
-    // Quantify complementarity: volume share of inter-FTD links in
-    // each phase.
     double arIntra = 0.0;
     double arInter = 0.0;
     double a2aIntra = 0.0;
@@ -50,22 +70,52 @@ heatmaps(int meshN, int tp)
         (inter ? arInter : arIntra) += comm.arTraffic.linkVolume(id);
         (inter ? a2aInter : a2aIntra) += comm.a2aTraffic.linkVolume(id);
     }
-    std::printf("all-reduce volume:  %5.1f%% on inter-FTD links\n",
-                100.0 * arInter / (arInter + arIntra));
-    std::printf("all-to-all volume:  %5.1f%% on inter-FTD links "
-                "(complementary)\n\n",
-                100.0 * a2aInter / (a2aInter + a2aIntra + 1e-30));
+
+    SweepResult row;
+    row.label = std::to_string(c.meshN) + "x" +
+        std::to_string(c.meshN) + " " + par.label() + " DP=" +
+        std::to_string(er.dp());
+    row.add("mesh_n", c.meshN);
+    row.add("tp", c.tp);
+    row.add("ar_inter_pct", 100.0 * arInter / (arInter + arIntra));
+    row.add("a2a_inter_pct",
+            100.0 * a2aInter / (a2aInter + a2aIntra + 1e-30));
+    return row;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("== Fig. 11: complementary hot/cold link distribution "
                 "under ER-Mapping ==\n\n");
-    heatmaps(4, 4); // canonical Fig. 11(a)/(b) case
-    heatmaps(4, 2); // Fig. 11(c), 4x4 DP=8 TP=2
-    heatmaps(6, 4); // Fig. 11(c), 6x6 DP=9 TP=4
+
+    SweepGrid grid;
+    grid.params = {0, 1, 2}; // case index
+
+    // Each cell renders its heatmaps into its own slot; the serial
+    // print loop below reads them without recomputing anything.
+    std::vector<Heatmaps> maps(grid.cells());
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [&maps](const SweepCell &cell) {
+        return complementarity(
+            kCases[static_cast<int>(cell.point.parameter())],
+            maps[cell.point.index]);
+    });
+
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::printf("-- %s --\n", rows[i].label.c_str());
+        std::printf("all-reduce traffic (hot = FTD connections):\n%s\n",
+                    maps[i].ar.c_str());
+        std::printf("all-to-all traffic (confined within FTDs):\n%s\n",
+                    maps[i].a2a.c_str());
+        std::printf("all-reduce volume:  %5.1f%% on inter-FTD links\n",
+                    rows[i].metric("ar_inter_pct"));
+        std::printf("all-to-all volume:  %5.1f%% on inter-FTD links "
+                    "(complementary)\n\n",
+                    rows[i].metric("a2a_inter_pct"));
+    }
+    benchout::writeSweepFiles("fig11_heatmaps", rows);
     return 0;
 }

@@ -6,55 +6,92 @@
  *
  * Expected shape: the advantage rises with token count and saturates
  * beyond ~256 tokens per group, with ER-Mapping extending it further.
+ *
+ * Runs on the SweepRunner system × token-count grid (`--jobs N`);
+ * the six platforms are built once and shared across workers.
  */
 
 #include <cstdio>
 
 #include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
 
 using namespace moentwine;
 
 namespace {
 
-double
-commTotal(PlatformKind platform, int meshN, int dgxNodes, int tokens)
+/** Platform order in the systems axis. */
+enum Platform
 {
-    SystemConfig sc;
-    sc.platform = platform;
-    sc.meshN = meshN;
-    sc.dgxNodes = dgxNodes;
-    sc.tp = 4;
-    const System sys = System::make(sc);
-    return evaluateCommunication(sys.mapping(), qwen3(), tokens, true)
-        .total();
-}
+    kDgx4,
+    kDgx8,
+    kWsc6,
+    kEr6,
+    kWsc8,
+    kEr8,
+};
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("== Fig. 13(a): impact of token count (Qwen3) ==\n\n");
+
+    SweepGrid grid;
+    {
+        SystemConfig sc;
+        sc.platform = PlatformKind::DgxCluster;
+        sc.tp = 4;
+        sc.dgxNodes = 4;
+        grid.systems.push_back(sc); // kDgx4
+        sc.dgxNodes = 8;
+        grid.systems.push_back(sc); // kDgx8
+        sc.platform = PlatformKind::WscBaseline;
+        sc.meshN = 6;
+        grid.systems.push_back(sc); // kWsc6
+        sc.platform = PlatformKind::WscEr;
+        grid.systems.push_back(sc); // kEr6
+        sc.platform = PlatformKind::WscBaseline;
+        sc.meshN = 8;
+        grid.systems.push_back(sc); // kWsc8
+        sc.platform = PlatformKind::WscEr;
+        grid.systems.push_back(sc); // kEr8
+    }
+    grid.params = {16,   32,   64,   128,  256,  512,
+                   1024, 2048, 4096, 8192, 16384, 32768};
+
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [](const SweepCell &cell) {
+        const int tokens = static_cast<int>(cell.point.parameter());
+        SweepResult row;
+        row.label = cell.system->name() + " tokens=" +
+            std::to_string(tokens);
+        row.add("tokens", tokens);
+        row.add("comm_total_us",
+                evaluateCommunication(cell.system->mapping(), qwen3(),
+                                      tokens, true)
+                        .total() *
+                    1e6);
+        return row;
+    });
+
     Table t({"tokens/group", "6x6 vs 32 GPUs", "6x6+ER vs 32 GPUs",
              "8x8 vs 64 GPUs", "8x8+ER vs 64 GPUs"});
-    for (const int tokens : {16, 32, 64, 128, 256, 512, 1024, 2048,
-                             4096, 8192, 16384, 32768}) {
-        const double dgx4 =
-            commTotal(PlatformKind::DgxCluster, 0, 4, tokens);
-        const double dgx8 =
-            commTotal(PlatformKind::DgxCluster, 0, 8, tokens);
-        const double wsc6 =
-            commTotal(PlatformKind::WscBaseline, 6, 0, tokens);
-        const double er6 = commTotal(PlatformKind::WscEr, 6, 0, tokens);
-        const double wsc8 =
-            commTotal(PlatformKind::WscBaseline, 8, 0, tokens);
-        const double er8 = commTotal(PlatformKind::WscEr, 8, 0, tokens);
-        t.addRow({std::to_string(tokens),
-                  Table::pct(1.0 - wsc6 / dgx4),
-                  Table::pct(1.0 - er6 / dgx4),
-                  Table::pct(1.0 - wsc8 / dgx8),
-                  Table::pct(1.0 - er8 / dgx8)});
+    for (std::size_t p = 0; p < grid.params.size(); ++p) {
+        const auto total = [&](int system) {
+            return rows[grid.at(-1, system, -1, -1, -1, -1,
+                                static_cast<int>(p))]
+                .metric("comm_total_us");
+        };
+        t.addRow({std::to_string(static_cast<int>(grid.params[p])),
+                  Table::pct(1.0 - total(kWsc6) / total(kDgx4)),
+                  Table::pct(1.0 - total(kEr6) / total(kDgx4)),
+                  Table::pct(1.0 - total(kWsc8) / total(kDgx8)),
+                  Table::pct(1.0 - total(kEr8) / total(kDgx8))});
     }
     std::printf("%s\n", t.render().c_str());
+    benchout::writeSweepFiles("fig13a_token_count", rows);
     return 0;
 }

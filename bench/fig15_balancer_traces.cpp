@@ -9,11 +9,16 @@
  * greedy balances but interrupts inference with long migrations;
  * topology-aware shortens migrations; NI eliminates interruption
  * entirely while staying continuously active.
+ *
+ * Runs one strategy per SweepRunner cell (`--jobs N`), every cell on
+ * one shared WSC system.
  */
 
 #include <cstdio>
 
 #include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
 
 using namespace moentwine;
 
@@ -38,31 +43,34 @@ kindName(BalancerKind kind)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     std::printf("== Fig. 15: run-time load traces, 150 iterations "
                 "(Qwen3, 4x4 WSC) ==\n\n");
-    SystemConfig sc;
-    sc.platform = PlatformKind::WscEr;
-    sc.meshN = 4;
-    sc.tp = 4;
-    const System sys = System::make(sc);
 
-    Table t({"strategy", "peak/avg load (tail)", "migrations",
-             "exposed migration (us)", "interrupted iters",
-             "mean layer time (us)"});
-    for (const BalancerKind kind :
-         {BalancerKind::None, BalancerKind::Greedy,
-          BalancerKind::TopologyAware, BalancerKind::NonInvasive}) {
+    SweepGrid grid;
+    {
+        SystemConfig sc;
+        sc.platform = PlatformKind::WscEr;
+        sc.meshN = 4;
+        sc.tp = 4;
+        grid.systems = {sc};
+    }
+    grid.balancers = {BalancerKind::None, BalancerKind::Greedy,
+                      BalancerKind::TopologyAware,
+                      BalancerKind::NonInvasive};
+
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [](const SweepCell &cell) {
         EngineConfig ec;
         ec.model = qwen3();
         ec.decodeTokensPerGroup = 256;
         ec.workload.mode = GatingMode::MixedScenario;
         ec.workload.mixPeriod = 100;
-        ec.balancer = kind;
+        ec.balancer = cell.point.balancerKind();
         ec.alpha = 0.5;
         ec.beta = 5;
-        InferenceEngine engine(sys.mapping(), ec);
+        InferenceEngine engine(cell.system->mapping(), ec);
 
         Summary ratio;
         Summary layer;
@@ -79,12 +87,31 @@ main()
             migrations += s.migrationsPlanned;
             interruptions += s.migrationOverhead > 0.0;
         }
-        t.addRow({kindName(kind), Table::num(ratio.mean(), 2) + "x",
-                  std::to_string(migrations),
-                  Table::num(exposed * 1e6, 1),
-                  std::to_string(interruptions),
-                  Table::num(layer.mean() * 1e6, 1)});
+
+        SweepResult row;
+        row.label = kindName(ec.balancer);
+        row.add("load_ratio_tail", ratio.mean());
+        row.add("migrations", migrations);
+        row.add("exposed_us", exposed * 1e6);
+        row.add("interrupted_iters", interruptions);
+        row.add("layer_us", layer.mean() * 1e6);
+        return row;
+    });
+
+    Table t({"strategy", "peak/avg load (tail)", "migrations",
+             "exposed migration (us)", "interrupted iters",
+             "mean layer time (us)"});
+    for (const SweepResult &r : rows) {
+        t.addRow({r.label,
+                  Table::num(r.metric("load_ratio_tail"), 2) + "x",
+                  std::to_string(
+                      static_cast<int>(r.metric("migrations"))),
+                  Table::num(r.metric("exposed_us"), 1),
+                  std::to_string(static_cast<int>(
+                      r.metric("interrupted_iters"))),
+                  Table::num(r.metric("layer_us"), 1)});
     }
     std::printf("%s\n", t.render().c_str());
+    benchout::writeSweepFiles("fig15_balancer_traces", rows);
     return 0;
 }

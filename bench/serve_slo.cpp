@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Serving SLO bench: the request-level serving simulator (src/serve/)
+ * swept over arrival process × balancer × offered rate on a 4×4
+ * ER-mapped WSC serving Qwen3.
+ *
+ * Every cell serves the same seeded request stream for its (arrival,
+ * rate) pair — balancers are compared against identical traffic — and
+ * reports TTFT/TPOT percentiles, p99 latency, goodput under the SLO,
+ * and queue/KV pressure. Rows land in SWEEP_serve_slo.{json,csv} and
+ * the serving summary in BENCH_serving.json; both are byte-identical
+ * between `--jobs 1` and `--jobs N` (cells derive all randomness from
+ * their grid coordinates).
+ *
+ * Usage: serve_slo [requests] [--jobs N]   (default 120 requests)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "core/moentwine.hh"
+#include "sweep/sweep.hh"
+#include "sweep_output.hh"
+
+using namespace moentwine;
+
+namespace {
+
+const char *
+balancerName(BalancerKind kind)
+{
+    switch (kind) {
+      case BalancerKind::None:
+        return "None";
+      case BalancerKind::Greedy:
+        return "Greedy";
+      case BalancerKind::TopologyAware:
+        return "Topo-aware";
+      case BalancerKind::NonInvasive:
+        return "Non-invasive";
+    }
+    return "?";
+}
+
+/**
+ * Stream seed of a cell: shared by every balancer serving the same
+ * (arrival, rate) pair so latency differences are attributable to the
+ * balancing strategy, never to a different request stream.
+ */
+uint64_t
+streamSeed(const SweepPoint &p)
+{
+    return 0x5E27E5EEDULL ^ (static_cast<uint64_t>(p.arrival + 1) << 32) ^
+        static_cast<uint64_t>(p.param + 1);
+}
+
+/** Arrival configuration of one cell. */
+ArrivalConfig
+cellArrival(const SweepPoint &p, int requests)
+{
+    ArrivalConfig ac;
+    ac.kind = p.arrivalKind();
+    ac.ratePerSec = p.parameter();
+    ac.mixDriftPeriodSec = 4.0; // production mixes drift slowly
+    ac.promptMeanTokens = 256;
+    ac.promptMaxTokens = 2048;
+    ac.outputMeanTokens = 48;
+    ac.outputMaxTokens = 256;
+    ac.seed = streamSeed(p);
+    if (ac.kind == ArrivalKind::Trace) {
+        // Deterministic replay: "record" a Poisson stream with a
+        // distinct seed and play it back through the trace path.
+        ArrivalConfig rec = ac;
+        rec.kind = ArrivalKind::Poisson;
+        rec.seed = ac.seed ^ 0x77ACEULL;
+        for (const ServeRequest &r :
+             ArrivalProcess(rec).generate(requests)) {
+            ac.trace.push_back(TraceRequest{r.arrivalTime, r.scenario,
+                                            r.promptTokens,
+                                            r.outputTokens});
+        }
+    }
+    return ac;
+}
+
+/** Serving configuration of one cell. */
+ServeConfig
+cellConfig(const SweepPoint &p, int requests)
+{
+    ServeConfig sc;
+    sc.engine.model = qwen3();
+    sc.engine.workload.seed = streamSeed(p);
+    sc.engine.balancer = p.balancerKind();
+    sc.engine.alpha = 0.5;
+    sc.engine.beta = 5;
+    sc.arrival = cellArrival(p, requests);
+    sc.scheduler.kvBudgetTokens = 16384;
+    sc.scheduler.maxRunningRequests = 32;
+    sc.scheduler.prefillChunkTokens = 512;
+    sc.slo.ttft = 0.05;
+    sc.slo.tpot = 0.005;
+    sc.numRequests = requests;
+    return sc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int requests = 120;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs") {
+            ++i; // value consumed by jobsFromArgs
+        } else if (arg.rfind("--jobs=", 0) != 0) {
+            requests = std::atoi(argv[i]);
+            if (requests <= 0)
+                fatal("serve_slo expects a positive request count");
+        }
+    }
+
+    std::printf("== Serving SLO: arrival × balancer × rate "
+                "(Qwen3, 4x4 WSC+ER, %d requests) ==\n\n",
+                requests);
+
+    SweepGrid grid;
+    SystemConfig wsc;
+    wsc.platform = PlatformKind::WscEr;
+    wsc.meshN = 4;
+    wsc.tp = 4;
+    grid.systems = {wsc};
+    grid.balancers = {BalancerKind::None, BalancerKind::NonInvasive};
+    grid.params = {40, 80}; // offered load (requests/s)
+    grid.arrivals = {ArrivalKind::Poisson, ArrivalKind::Bursty,
+                     ArrivalKind::Diurnal, ArrivalKind::Trace};
+
+    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const auto rows = runner.run(grid, [&](const SweepCell &cell) {
+        const ServeConfig sc = cellConfig(cell.point, requests);
+        ServeSimulator sim(cell.system->mapping(), sc);
+        const ServeReport r = sim.run();
+
+        SweepResult row;
+        row.label = arrivalKindName(cell.point.arrivalKind()) + " r=" +
+            std::to_string(
+                static_cast<int>(cell.point.parameter())) +
+            " | " + balancerName(cell.point.balancerKind());
+        row.add("rate_rps", cell.point.parameter());
+        row.add("ttft_p50_ms", r.ttftP50 * 1e3);
+        row.add("ttft_p99_ms", r.ttftP99 * 1e3);
+        row.add("tpot_p50_ms", r.tpotP50 * 1e3);
+        row.add("tpot_p99_ms", r.tpotP99 * 1e3);
+        row.add("latency_p99_ms", r.latencyP99 * 1e3);
+        row.add("throughput_tps", r.throughputTokensPerSec);
+        row.add("goodput_rps", r.goodputRequestsPerSec);
+        row.add("slo_attainment", r.sloAttainment);
+        row.add("queue_mean", r.queueDepthMean);
+        row.add("queue_max", r.queueDepthMax);
+        row.add("kv_peak_frac", r.kvPeakFraction);
+        row.add("iterations", r.iterations);
+        row.add("makespan_s", r.makespan);
+        return row;
+    });
+
+    for (std::size_t a = 0; a < grid.arrivals.size(); ++a) {
+        for (std::size_t p = 0; p < grid.params.size(); ++p) {
+            std::printf("-- %s arrivals, %d req/s --\n",
+                        arrivalKindName(grid.arrivals[a]).c_str(),
+                        static_cast<int>(grid.params[p]));
+            Table t({"balancer", "TTFT p50/p99 (ms)",
+                     "TPOT p50/p99 (ms)", "p99 latency (ms)",
+                     "goodput (req/s)", "SLO att.", "queue mean/max"});
+            for (std::size_t b = 0; b < grid.balancers.size(); ++b) {
+                const SweepResult &r = rows[grid.at(
+                    -1, 0, -1, static_cast<int>(b), -1, -1,
+                    static_cast<int>(p), static_cast<int>(a))];
+                t.addRow({balancerName(grid.balancers[b]),
+                          Table::num(r.metric("ttft_p50_ms"), 1) + " / " +
+                              Table::num(r.metric("ttft_p99_ms"), 1),
+                          Table::num(r.metric("tpot_p50_ms"), 2) + " / " +
+                              Table::num(r.metric("tpot_p99_ms"), 2),
+                          Table::num(r.metric("latency_p99_ms"), 1),
+                          Table::num(r.metric("goodput_rps"), 1),
+                          Table::num(r.metric("slo_attainment") * 100.0,
+                                     1) +
+                              "%",
+                          Table::num(r.metric("queue_mean"), 1) + " / " +
+                              Table::num(r.metric("queue_max"), 0)});
+            }
+            std::printf("%s\n", t.render().c_str());
+        }
+    }
+
+    benchout::writeSweepFiles("serve_slo", rows);
+    const std::string doc = benchout::sweepJson("serving", rows);
+    if (std::FILE *f = std::fopen("BENCH_serving.json", "w")) {
+        std::fputs(doc.c_str(), f);
+        std::fclose(f);
+        std::printf("wrote BENCH_serving.json\n");
+    } else {
+        warn("could not write BENCH_serving.json");
+    }
+    return 0;
+}

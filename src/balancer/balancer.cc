@@ -60,8 +60,12 @@ replicationLoop(const std::vector<double> &loads,
     std::vector<std::pair<int, DeviceId>> added;
     const int maxAdds = placement.numDevices() * placement.shadowSlots();
 
+    // Track loads so each round reads the incrementally maintained
+    // heat vector and every addReplica() updates it in O(replicas) —
+    // instead of the O(devices × experts) recompute per round.
+    placement.setExpertLoads(loads);
     for (int round = 0; round < maxAdds; ++round) {
-        const auto heats = placement.deviceHeats(loads);
+        const std::vector<double> &heats = placement.heats();
         const auto hottest = static_cast<DeviceId>(
             std::max_element(heats.begin(), heats.end()) - heats.begin());
 
@@ -105,6 +109,7 @@ replicationLoop(const std::vector<double> &loads,
         placement.addReplica(srcExpert, dst);
         added.emplace_back(srcExpert, dst);
     }
+    placement.clearExpertLoads();
     return added;
 }
 

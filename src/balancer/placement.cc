@@ -86,6 +86,21 @@ ExpertPlacement::addReplica(int expert, DeviceId d)
     MOE_ASSERT(d >= 0 && d < numDevices_, "addReplica: bad device");
     MOE_ASSERT(!hosts(d, expert), "device already hosts this expert");
     MOE_ASSERT(freeSlots(d) > 0, "no free shadow slot on device");
+    if (tracksLoads()) {
+        // The expert's per-replica share shrinks from L/n to L/(n+1):
+        // existing replicas cool by the difference, the new host gains
+        // the new share.
+        const double load =
+            trackedLoads_[static_cast<std::size_t>(expert)];
+        const auto n = static_cast<double>(numReplicas(expert));
+        const double newShare = load / (n + 1.0);
+        for (const DeviceId r :
+             byExpert_[static_cast<std::size_t>(expert)]) {
+            heats_[static_cast<std::size_t>(r)] -=
+                load / n - newShare;
+        }
+        heats_[static_cast<std::size_t>(d)] += newShare;
+    }
     byDevice_[static_cast<std::size_t>(d)].push_back(expert);
     byExpert_[static_cast<std::size_t>(expert)].push_back(d);
 }
@@ -97,6 +112,21 @@ ExpertPlacement::removeReplica(int expert, DeviceId d)
     MOE_ASSERT(numReplicas(expert) > 1,
                "cannot remove the last replica of an expert");
     MOE_ASSERT(!isNative(d, expert), "cannot remove a native replica");
+    if (tracksLoads()) {
+        // Inverse of addReplica: survivors warm from L/n to L/(n-1).
+        const double load =
+            trackedLoads_[static_cast<std::size_t>(expert)];
+        const auto n = static_cast<double>(numReplicas(expert));
+        const double oldShare = load / n;
+        for (const DeviceId r :
+             byExpert_[static_cast<std::size_t>(expert)]) {
+            if (r != d) {
+                heats_[static_cast<std::size_t>(r)] +=
+                    load / (n - 1.0) - oldShare;
+            }
+        }
+        heats_[static_cast<std::size_t>(d)] -= oldShare;
+    }
     auto &experts = byDevice_[static_cast<std::size_t>(d)];
     experts.erase(std::find(experts.begin(), experts.end(), expert));
     auto &devices = byExpert_[static_cast<std::size_t>(expert)];
@@ -112,6 +142,8 @@ ExpertPlacement::resetToNative()
     for (DeviceId d = 0; d < numDevices_; ++d)
         for (const int e : byDevice_[static_cast<std::size_t>(d)])
             byExpert_[static_cast<std::size_t>(e)].push_back(d);
+    if (tracksLoads())
+        rebuildHeats();
 }
 
 bool
@@ -121,6 +153,50 @@ ExpertPlacement::isNative(DeviceId d, int expert) const
     const auto &natives = nativeByDevice_[static_cast<std::size_t>(d)];
     return std::find(natives.begin(), natives.end(), expert) !=
            natives.end();
+}
+
+void
+ExpertPlacement::setExpertLoads(const std::vector<double> &expertLoads)
+{
+    MOE_ASSERT(expertLoads.size() ==
+                   static_cast<std::size_t>(numExperts_),
+               "expert load vector width mismatch");
+    trackedLoads_ = expertLoads;
+    rebuildHeats();
+}
+
+void
+ExpertPlacement::clearExpertLoads()
+{
+    trackedLoads_.clear();
+    heats_.clear();
+}
+
+void
+ExpertPlacement::updateExpertLoad(int expert, double load)
+{
+    MOE_ASSERT(tracksLoads(), "updateExpertLoad without attached loads");
+    MOE_ASSERT(expert >= 0 && expert < numExperts_,
+               "updateExpertLoad: bad expert");
+    double &tracked = trackedLoads_[static_cast<std::size_t>(expert)];
+    const double perReplicaDelta =
+        (load - tracked) / static_cast<double>(numReplicas(expert));
+    for (const DeviceId r : byExpert_[static_cast<std::size_t>(expert)])
+        heats_[static_cast<std::size_t>(r)] += perReplicaDelta;
+    tracked = load;
+}
+
+const std::vector<double> &
+ExpertPlacement::heats() const
+{
+    MOE_ASSERT(tracksLoads(), "heats() without attached loads");
+    return heats_;
+}
+
+void
+ExpertPlacement::rebuildHeats()
+{
+    heats_ = deviceHeats(trackedLoads_);
 }
 
 std::vector<double>

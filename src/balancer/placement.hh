@@ -79,10 +79,36 @@ class ExpertPlacement
 
     /**
      * Device heats given per-expert loads: Heat_d = Σ Load_e / Num_e
-     * over experts hosted by d.
+     * over experts hosted by d. Recomputed from scratch in
+     * O(devices × experts); hot callers should attach loads with
+     * setExpertLoads() and read the incrementally maintained heats().
      */
     std::vector<double> deviceHeats(
         const std::vector<double> &expertLoads) const;
+
+    /**
+     * Attach per-expert loads and (re)build the tracked heat vector.
+     * While loads are attached, every placement mutation (addReplica,
+     * removeReplica, resetToNative) and every updateExpertLoad() call
+     * maintains heats() incrementally in O(replicas of the changed
+     * expert) — the Eq.(2) trigger / Algorithm 1 inner loop no longer
+     * pays the O(devices × experts) recompute per poll.
+     */
+    void setExpertLoads(const std::vector<double> &expertLoads);
+
+    /** Stop tracking loads (heats() becomes unavailable). */
+    void clearExpertLoads();
+
+    /** True while setExpertLoads() is in effect. */
+    bool tracksLoads() const { return !trackedLoads_.empty(); }
+
+    /**
+     * Update one expert's tracked load in O(replicas of that expert).
+     */
+    void updateExpertLoad(int expert, double load);
+
+    /** Incrementally maintained heats for the attached loads. */
+    const std::vector<double> &heats() const;
 
     /**
      * Per-device routed token counts for the given per-expert loads
@@ -99,10 +125,17 @@ class ExpertPlacement
     int numExperts_;
     int numDevices_;
     int shadowSlots_;
+    /** Rebuild heats_ from the tracked loads (O(devices × experts)). */
+    void rebuildHeats();
+
     std::vector<std::vector<int>> byDevice_;
     std::vector<std::vector<DeviceId>> byExpert_;
     std::vector<int> capacity_;
     std::vector<std::vector<int>> nativeByDevice_;
+    // Attached per-expert loads and the incrementally maintained
+    // per-device heats; both empty while no loads are attached.
+    std::vector<double> trackedLoads_;
+    std::vector<double> heats_;
 };
 
 } // namespace moentwine

@@ -45,6 +45,7 @@
 #include "model/moe_config.hh"
 #include "network/collectives.hh"
 #include "network/traffic.hh"
+#include "serve/serve.hh"
 #include "topology/mesh.hh"
 #include "topology/switch_cluster.hh"
 #include "workload/workload.hh"

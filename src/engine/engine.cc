@@ -72,57 +72,70 @@ InferenceEngine::InferenceEngine(const Mapping &mapping,
     }
 }
 
-int
-InferenceEngine::tokensPerGroup() const
+IterationDemand
+InferenceEngine::configuredDemand() const
 {
+    IterationDemand demand;
     switch (cfg_.schedule) {
       case SchedulingMode::PrefillOnly:
-        return cfg_.prefillTokensPerGroup;
+        demand.prefillTokensPerGroup = cfg_.prefillTokensPerGroup;
+        return demand;
       case SchedulingMode::DecodeOnly:
-        return cfg_.decodeTokensPerGroup;
+        demand.decodeTokensPerGroup = cfg_.decodeTokensPerGroup;
+        return demand;
       case SchedulingMode::Hybrid:
-        return cfg_.decodeTokensPerGroup +
-               cfg_.prefillTokensPerGroup / 4;
+        demand.decodeTokensPerGroup = cfg_.decodeTokensPerGroup;
+        demand.prefillTokensPerGroup = cfg_.prefillTokensPerGroup / 4;
+        return demand;
     }
     panic("unknown scheduling mode");
 }
 
-double
-InferenceEngine::attentionCompute() const
+int
+InferenceEngine::tokensPerGroup() const
 {
-    switch (cfg_.schedule) {
-      case SchedulingMode::PrefillOnly:
-        return cost_.attentionTime(cfg_.model,
-                                   cfg_.prefillTokensPerGroup,
-                                   mapping_.tp(), cfg_.contextLen,
-                                   Stage::Prefill);
-      case SchedulingMode::DecodeOnly:
-        return cost_.attentionTime(cfg_.model,
-                                   cfg_.decodeTokensPerGroup,
-                                   mapping_.tp(), cfg_.contextLen,
-                                   Stage::Decode);
-      case SchedulingMode::Hybrid:
-        return cost_.attentionTime(cfg_.model,
-                                   cfg_.decodeTokensPerGroup,
-                                   mapping_.tp(), cfg_.contextLen,
-                                   Stage::Decode) +
-               cost_.attentionTime(cfg_.model,
-                                   cfg_.prefillTokensPerGroup / 4,
-                                   mapping_.tp(), cfg_.contextLen,
-                                   Stage::Prefill);
+    return configuredDemand().tokensPerGroup();
+}
+
+double
+InferenceEngine::attentionCompute(const IterationDemand &demand) const
+{
+    const double ctx =
+        demand.contextLen < 0.0 ? cfg_.contextLen : demand.contextLen;
+    double t = 0.0;
+    if (demand.decodeTokensPerGroup > 0) {
+        t += cost_.attentionTime(cfg_.model,
+                                 demand.decodeTokensPerGroup,
+                                 mapping_.tp(), ctx, Stage::Decode);
     }
-    panic("unknown scheduling mode");
+    if (demand.prefillTokensPerGroup > 0) {
+        t += cost_.attentionTime(cfg_.model,
+                                 demand.prefillTokensPerGroup,
+                                 mapping_.tp(), ctx, Stage::Prefill);
+    }
+    return t;
 }
 
 IterationStats
 InferenceEngine::step()
 {
+    return step(configuredDemand());
+}
+
+IterationStats
+InferenceEngine::step(const IterationDemand &demand)
+{
+    MOE_ASSERT(demand.decodeTokensPerGroup >= 0 &&
+                   demand.prefillTokensPerGroup >= 0,
+               "negative iteration demand");
+    MOE_ASSERT(demand.tokensPerGroup() > 0,
+               "iteration demand must carry at least one token");
     IterationStats stats;
-    const int tokens = tokensPerGroup();
+    const int tokens = demand.tokensPerGroup();
     const double tokenBytes = cfg_.model.tokenBytes();
 
     // --- Attention phase -------------------------------------------------
-    stats.attnCompute = attentionCompute();
+    stats.attnCompute = attentionCompute(demand);
     stats.allReduce = mapping_.allReduceInto(
         tokens * tokenBytes, cfg_.retainAllGather, arScratch_);
 

@@ -106,6 +106,31 @@ struct EngineConfig
     WorkloadConfig workload{};
 };
 
+/**
+ * Dynamic per-iteration token demand, supplied by an online batching
+ * layer (src/serve/) instead of the fixed EngineConfig budget. Either
+ * component may be zero (e.g. a prefill-only admission burst or a pure
+ * decode iteration); at least one must be positive to step the engine.
+ */
+struct IterationDemand
+{
+    /** Decode tokens per TP group this iteration. */
+    int decodeTokensPerGroup = 0;
+    /** Prefill-chunk tokens per TP group this iteration. */
+    int prefillTokensPerGroup = 0;
+    /**
+     * Average context length (KV entries) of the decode batch; a
+     * negative value falls back to EngineConfig::contextLen.
+     */
+    double contextLen = -1.0;
+
+    /** Total tokens a TP group processes this iteration. */
+    int tokensPerGroup() const
+    {
+        return decodeTokensPerGroup + prefillTokensPerGroup;
+    }
+};
+
 /** Timeline breakdown of one simulated iteration (one sparse layer). */
 struct IterationStats
 {
@@ -169,14 +194,32 @@ class InferenceEngine
      */
     InferenceEngine(const Mapping &mapping, const EngineConfig &cfg);
 
-    /** Simulate one iteration and advance balancing state. */
+    /**
+     * Simulate one iteration with the fixed per-schedule token budget
+     * of the configuration and advance balancing state.
+     */
     IterationStats step();
+
+    /**
+     * Simulate one iteration with an externally supplied token demand
+     * (the serving layer's continuous-batching path). The fixed-budget
+     * step() is a thin wrapper over this.
+     */
+    IterationStats step(const IterationDemand &demand);
 
     /** Simulate @p iterations and return all per-iteration stats. */
     std::vector<IterationStats> run(int iterations);
 
     /** Current expert placement. */
     const ExpertPlacement &placement() const { return placement_; }
+
+    /**
+     * The engine's workload generator. Mutable access so an online
+     * serving layer can couple the gating mixture to the scenario mix
+     * of the requests it actually admitted
+     * (WorkloadGenerator::setScenarioMix()).
+     */
+    WorkloadGenerator &workload() { return workload_; }
 
     /** The configuration in use. */
     const EngineConfig &config() const { return cfg_; }
@@ -185,8 +228,11 @@ class InferenceEngine
     int tokensPerGroup() const;
 
   private:
-    /** Attention compute time for the configured schedule. */
-    double attentionCompute() const;
+    /** Attention compute time for the given token demand. */
+    double attentionCompute(const IterationDemand &demand) const;
+
+    /** The fixed-budget demand of the configured scheduling mode. */
+    IterationDemand configuredDemand() const;
 
     const Mapping &mapping_;
     EngineConfig cfg_;

@@ -1,0 +1,234 @@
+#include "serve/arrival.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace moentwine {
+
+std::string
+arrivalKindName(ArrivalKind kind)
+{
+    switch (kind) {
+      case ArrivalKind::Poisson:
+        return "Poisson";
+      case ArrivalKind::Bursty:
+        return "Bursty";
+      case ArrivalKind::Diurnal:
+        return "Diurnal";
+      case ArrivalKind::Trace:
+        return "Trace";
+    }
+    panic("unknown arrival kind");
+}
+
+double
+ArrivalProcess::promptScale(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::Chat:
+        return 0.5;
+      case ScenarioKind::Coding:
+        return 2.0;
+      case ScenarioKind::Math:
+        return 1.0;
+      case ScenarioKind::Privacy:
+        return 0.75;
+    }
+    panic("unknown scenario");
+}
+
+double
+ArrivalProcess::outputScale(ScenarioKind kind)
+{
+    switch (kind) {
+      case ScenarioKind::Chat:
+        return 1.0;
+      case ScenarioKind::Coding:
+        return 1.5;
+      case ScenarioKind::Math:
+        return 2.0;
+      case ScenarioKind::Privacy:
+        return 0.5;
+    }
+    panic("unknown scenario");
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg.kind == ArrivalKind::Trace) {
+        if (cfg.trace.empty())
+            fatal("trace-replay arrival process with an empty trace");
+    } else {
+        MOE_ASSERT(cfg.ratePerSec > 0.0, "arrival rate must be positive");
+    }
+    MOE_ASSERT(cfg.burstRateFactor > 0.0 && cfg.quietRateFactor > 0.0,
+               "MMPP rate factors must be positive");
+    MOE_ASSERT(cfg.meanBurstSec > 0.0 && cfg.meanQuietSec > 0.0,
+               "MMPP dwell times must be positive");
+    MOE_ASSERT(cfg.diurnalPeriodSec > 0.0,
+               "diurnal period must be positive");
+    MOE_ASSERT(cfg.diurnalAmplitude >= 0.0 && cfg.diurnalAmplitude < 1.0,
+               "diurnal amplitude must be in [0, 1)");
+    MOE_ASSERT(cfg.scenarioWeights.empty() ||
+                   cfg.scenarioWeights.size() == allScenarios().size(),
+               "scenario weights must cover every scenario");
+    MOE_ASSERT(cfg.promptMinTokens > 0 &&
+                   cfg.promptMaxTokens >= cfg.promptMinTokens,
+               "bad prompt length bounds");
+    MOE_ASSERT(cfg.outputMinTokens > 0 &&
+                   cfg.outputMaxTokens >= cfg.outputMinTokens,
+               "bad output length bounds");
+    for (std::size_t i = 1; i < cfg.trace.size(); ++i) {
+        MOE_ASSERT(cfg.trace[i].time >= cfg.trace[i - 1].time,
+                   "trace must be time-sorted");
+    }
+}
+
+std::vector<double>
+ArrivalProcess::scenarioMixAt(double t) const
+{
+    const std::vector<double> *base =
+        cfg_.scenarioWeights.empty() ? nullptr : &cfg_.scenarioWeights;
+    if (cfg_.mixDriftPeriodSec > 0.0) {
+        // The shared raised-cosine rotation (workload.cc uses the same
+        // shape with an iteration-index phase).
+        return rotatingScenarioMix(
+            2.0 * M_PI * t / cfg_.mixDriftPeriodSec, base);
+    }
+    // Static mixture: phase 0 with the cosine term cancelled is just
+    // the normalised base weights.
+    const std::size_t n = allScenarios().size();
+    std::vector<double> mix(n, 1.0);
+    if (base)
+        mix = *base;
+    double total = 0.0;
+    for (const double m : mix)
+        total += m;
+    MOE_ASSERT(total > 0.0, "degenerate scenario mixture");
+    for (double &m : mix)
+        m /= total;
+    return mix;
+}
+
+namespace {
+
+/** Log-normal length draw around mean·scale, clamped into [lo, hi]. */
+int
+sampleLength(Rng &rng, double mean, double sigma, double scale, int lo,
+             int hi)
+{
+    // exp(normal(mu, sigma)) has mean exp(mu + sigma²/2); solve mu so
+    // the draw's mean is the configured one.
+    const double mu = std::log(mean * scale) - 0.5 * sigma * sigma;
+    const double len = std::exp(rng.normal(mu, sigma));
+    const double clamped =
+        std::min(static_cast<double>(hi),
+                 std::max(static_cast<double>(lo), std::round(len)));
+    return static_cast<int>(clamped);
+}
+
+} // namespace
+
+std::vector<ServeRequest>
+ArrivalProcess::generate(int count) const
+{
+    MOE_ASSERT(count >= 0, "negative request count");
+    std::vector<ServeRequest> out;
+    out.reserve(static_cast<std::size_t>(count));
+
+    if (cfg_.kind == ArrivalKind::Trace) {
+        const int n = std::min<int>(
+            count, static_cast<int>(cfg_.trace.size()));
+        for (int i = 0; i < n; ++i) {
+            const TraceRequest &t =
+                cfg_.trace[static_cast<std::size_t>(i)];
+            MOE_ASSERT(t.promptTokens > 0 && t.outputTokens > 0,
+                       "trace request with empty prompt or output");
+            ServeRequest r;
+            r.id = i;
+            r.scenario = t.scenario;
+            r.promptTokens = t.promptTokens;
+            r.outputTokens = t.outputTokens;
+            r.arrivalTime = t.time;
+            out.push_back(r);
+        }
+        return out;
+    }
+
+    Rng rng(cfg_.seed);
+    double now = 0.0;
+    // MMPP state: start in the quiet phase with a full dwell ahead.
+    bool burst = false;
+    double stateLeft = rng.exponential(1.0 / cfg_.meanQuietSec);
+
+    const auto &scenarios = allScenarios();
+    for (int i = 0; i < count; ++i) {
+        switch (cfg_.kind) {
+          case ArrivalKind::Poisson:
+            now += rng.exponential(cfg_.ratePerSec);
+            break;
+          case ArrivalKind::Bursty: {
+            // Sequential MMPP: draw against the current state's rate;
+            // an inter-arrival crossing the state boundary advances to
+            // the boundary, flips the state, and redraws (memoryless).
+            for (;;) {
+                const double rate = cfg_.ratePerSec *
+                    (burst ? cfg_.burstRateFactor
+                           : cfg_.quietRateFactor);
+                const double gap = rng.exponential(rate);
+                if (gap <= stateLeft) {
+                    now += gap;
+                    stateLeft -= gap;
+                    break;
+                }
+                now += stateLeft;
+                burst = !burst;
+                stateLeft = rng.exponential(
+                    1.0 / (burst ? cfg_.meanBurstSec
+                                 : cfg_.meanQuietSec));
+            }
+            break;
+          }
+          case ArrivalKind::Diurnal: {
+            // Thinning against the peak rate.
+            const double peak =
+                cfg_.ratePerSec * (1.0 + cfg_.diurnalAmplitude);
+            for (;;) {
+                now += rng.exponential(peak);
+                const double rate = cfg_.ratePerSec *
+                    (1.0 + cfg_.diurnalAmplitude *
+                               std::sin(2.0 * M_PI * now /
+                                        cfg_.diurnalPeriodSec));
+                if (rng.uniform() * peak <= rate)
+                    break;
+            }
+            break;
+          }
+          case ArrivalKind::Trace:
+            panic("unreachable");
+        }
+
+        const auto mix = scenarioMixAt(now);
+        const ScenarioKind kind = scenarios[rng.weightedIndex(mix)];
+        ServeRequest r;
+        r.id = i;
+        r.scenario = kind;
+        r.arrivalTime = now;
+        r.promptTokens = sampleLength(
+            rng, cfg_.promptMeanTokens, cfg_.promptSigma,
+            promptScale(kind), cfg_.promptMinTokens,
+            cfg_.promptMaxTokens);
+        r.outputTokens = sampleLength(
+            rng, cfg_.outputMeanTokens, cfg_.outputSigma,
+            outputScale(kind), cfg_.outputMinTokens,
+            cfg_.outputMaxTokens);
+        out.push_back(r);
+    }
+    return out;
+}
+
+} // namespace moentwine

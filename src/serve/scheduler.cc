@@ -1,0 +1,152 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    const ServeSchedulerConfig &cfg, std::vector<ServeRequest> requests)
+    : cfg_(cfg), requests_(std::move(requests))
+{
+    MOE_ASSERT(cfg.kvBudgetTokens > 0, "KV budget must be positive");
+    MOE_ASSERT(cfg.maxRunningRequests > 0,
+               "running-request bound must be positive");
+    MOE_ASSERT(cfg.prefillChunkTokens > 0,
+               "prefill chunk must be positive");
+
+    metrics_.resize(requests_.size());
+    scenarioTokens_.assign(allScenarios().size(), 0.0);
+    for (std::size_t i = 0; i < requests_.size(); ++i) {
+        const ServeRequest &r = requests_[i];
+        MOE_ASSERT(r.promptTokens > 0 && r.outputTokens > 0,
+                   "request with empty prompt or output");
+        MOE_ASSERT(r.kvTokens() <= cfg.kvBudgetTokens,
+                   "request exceeds the whole KV budget");
+        MOE_ASSERT(i == 0 || requests_[i - 1].arrivalTime <=
+                                 r.arrivalTime,
+                   "requests must be arrival-sorted");
+        RequestMetrics &m = metrics_[i];
+        m.id = r.id;
+        m.scenario = r.scenario;
+        m.promptTokens = r.promptTokens;
+        m.outputTokens = r.outputTokens;
+        m.arrivalTime = r.arrivalTime;
+    }
+}
+
+bool
+ContinuousBatchScheduler::done() const
+{
+    return finished_ == static_cast<int>(requests_.size());
+}
+
+double
+ContinuousBatchScheduler::nextArrival() const
+{
+    return nextArrival_ < requests_.size()
+        ? requests_[nextArrival_].arrivalTime
+        : std::numeric_limits<double>::infinity();
+}
+
+void
+ContinuousBatchScheduler::admit(double now)
+{
+    MOE_ASSERT(!planPending_, "admit() with a plan pending");
+    while (nextArrival_ < requests_.size() &&
+           requests_[nextArrival_].arrivalTime <= now) {
+        queue_.push_back(static_cast<int>(nextArrival_));
+        ++nextArrival_;
+    }
+    // FIFO with head-of-line blocking: stop at the first request that
+    // does not fit, so admission order equals arrival order.
+    while (!queue_.empty() &&
+           static_cast<int>(running_.size()) < cfg_.maxRunningRequests) {
+        const int idx = queue_.front();
+        const ServeRequest &r =
+            requests_[static_cast<std::size_t>(idx)];
+        if (kvReserved_ + r.kvTokens() > cfg_.kvBudgetTokens)
+            break;
+        queue_.pop_front();
+        kvReserved_ += r.kvTokens();
+        running_.push_back(Running{idx, 0, 0, 0, false});
+        admissionOrder_.push_back(r.id);
+        metrics_[static_cast<std::size_t>(idx)].admitTime = now;
+    }
+}
+
+IterationDemand
+ContinuousBatchScheduler::plan()
+{
+    MOE_ASSERT(!planPending_, "plan() with a plan pending");
+    IterationDemand demand;
+    std::fill(scenarioTokens_.begin(), scenarioTokens_.end(), 0.0);
+
+    int prefillLeft = cfg_.prefillChunkTokens;
+    double contextSum = 0.0;
+    int decodeCount = 0;
+    for (Running &run : running_) {
+        const ServeRequest &r =
+            requests_[static_cast<std::size_t>(run.request)];
+        const auto scenario = static_cast<std::size_t>(r.scenario);
+        if (run.prefillDone < r.promptTokens) {
+            // Oldest-first chunked prefill until the budget is spent.
+            const int chunk = std::min(
+                prefillLeft, r.promptTokens - run.prefillDone);
+            run.prefillPlanned = chunk;
+            prefillLeft -= chunk;
+            demand.prefillTokensPerGroup += chunk;
+            scenarioTokens_[scenario] += chunk;
+        } else if (run.decoded < r.outputTokens) {
+            run.decodePlanned = true;
+            demand.decodeTokensPerGroup += 1;
+            scenarioTokens_[scenario] += 1.0;
+            contextSum += r.promptTokens + run.decoded;
+            ++decodeCount;
+        }
+    }
+    if (decodeCount > 0)
+        demand.contextLen = contextSum / decodeCount;
+    planPending_ = demand.tokensPerGroup() > 0;
+    return demand;
+}
+
+void
+ContinuousBatchScheduler::complete(double end)
+{
+    MOE_ASSERT(planPending_, "complete() without a pending plan");
+    planPending_ = false;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < running_.size(); ++i) {
+        Running run = running_[i];
+        const ServeRequest &r =
+            requests_[static_cast<std::size_t>(run.request)];
+        RequestMetrics &m =
+            metrics_[static_cast<std::size_t>(run.request)];
+        if (run.prefillPlanned > 0) {
+            run.prefillDone += run.prefillPlanned;
+            run.prefillPlanned = 0;
+            if (run.prefillDone == r.promptTokens) {
+                // The prefill emits the first output token.
+                m.firstTokenTime = end;
+                run.decoded = 1;
+            }
+        } else if (run.decodePlanned) {
+            run.decodePlanned = false;
+            ++run.decoded;
+        }
+        if (run.prefillDone == r.promptTokens &&
+            run.decoded >= r.outputTokens) {
+            m.finishTime = end;
+            kvReserved_ -= r.kvTokens();
+            ++finished_;
+            continue; // drop from the running batch
+        }
+        running_[w++] = run;
+    }
+    running_.resize(w);
+}
+
+} // namespace moentwine

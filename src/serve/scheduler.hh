@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Continuous-batching scheduler: admits online requests into a bounded
+ * KV-cache budget and packs every iteration from a prefill chunk plus
+ * the in-flight decode batch (the vLLM/Orca iteration shape).
+ *
+ * Admission is strict FIFO with head-of-line blocking: a request is
+ * admitted when the queue head fits the remaining KV budget and the
+ * running-batch bound; nothing overtakes it. The KV budget is reserved
+ * up front (prompt + output tokens) so the cache can never overflow
+ * mid-decode. Prefill is chunked: each iteration spends at most
+ * prefillChunkTokens on the oldest unfinished prefills, while every
+ * fully prefilled request contributes one decode token.
+ *
+ * All token quantities are per TP group (see serve/request.hh).
+ */
+
+#ifndef MOENTWINE_SERVE_SCHEDULER_HH
+#define MOENTWINE_SERVE_SCHEDULER_HH
+
+#include <deque>
+#include <vector>
+
+#include "engine/engine.hh"
+#include "serve/request.hh"
+
+namespace moentwine {
+
+/** Continuous-batching scheduler configuration. */
+struct ServeSchedulerConfig
+{
+    /** KV-cache budget (tokens) of one TP group's devices. */
+    int kvBudgetTokens = 1 << 16;
+    /** Maximum concurrently running (admitted) requests. */
+    int maxRunningRequests = 64;
+    /** Prefill tokens an iteration may spend (chunked prefill). */
+    int prefillChunkTokens = 512;
+};
+
+/**
+ * Online request scheduler over a fixed request stream.
+ */
+class ContinuousBatchScheduler
+{
+  public:
+    /**
+     * @param cfg      Scheduler configuration.
+     * @param requests Arrival-ordered request stream; copied. Every
+     *                 request must individually fit the KV budget.
+     */
+    ContinuousBatchScheduler(const ServeSchedulerConfig &cfg,
+                             std::vector<ServeRequest> requests);
+
+    /** True when every request of the stream has finished. */
+    bool done() const;
+
+    /** Arrival time of the next not-yet-arrived request; infinity when
+     *  the stream is exhausted. */
+    double nextArrival() const;
+
+    /**
+     * Move requests with arrivalTime ≤ @p now into the wait queue and
+     * admit from the queue head while the KV budget and running bound
+     * allow (FIFO, head-of-line blocking). Records admitTime = @p now
+     * for every admitted request.
+     */
+    void admit(double now);
+
+    /**
+     * Plan one iteration over the running batch: a prefill chunk (the
+     * oldest unfinished prefills, up to prefillChunkTokens) plus one
+     * decode token per fully prefilled request. Returns a demand with
+     * zero tokens when the running batch is empty. The planned demand
+     * stays pending until complete() is called.
+     */
+    IterationDemand plan();
+
+    /**
+     * Commit the pending planned iteration as finished at time @p end:
+     * advances prefill progress, emits first/decode tokens, finishes
+     * requests and releases their KV reservation.
+     */
+    void complete(double end);
+
+    /** Requests waiting for admission. */
+    int queueDepth() const { return static_cast<int>(queue_.size()); }
+
+    /** Requests admitted and not yet finished. */
+    int runningCount() const { return static_cast<int>(running_.size()); }
+
+    /** KV tokens currently reserved by the running batch. */
+    int kvReserved() const { return kvReserved_; }
+
+    /** Completed requests so far. */
+    int finishedCount() const { return finished_; }
+
+    /**
+     * Planned tokens per scenario of the last plan() call (prefill
+     * chunk plus decode tokens) — the live mix that drives the engine's
+     * gating mixture under drift coupling. Indexed like allScenarios().
+     */
+    const std::vector<double> &scenarioTokens() const
+    {
+        return scenarioTokens_;
+    }
+
+    /**
+     * Completion records, one per request id. Only entries of finished
+     * requests are fully populated; ServeSimulator reads them after
+     * done().
+     */
+    const std::vector<RequestMetrics> &metrics() const { return metrics_; }
+
+    /** Admission order (request ids), for FIFO auditing in tests. */
+    const std::vector<int> &admissionOrder() const
+    {
+        return admissionOrder_;
+    }
+
+    /** The configuration in use. */
+    const ServeSchedulerConfig &config() const { return cfg_; }
+
+  private:
+    /** In-flight state of one admitted request. */
+    struct Running
+    {
+        int request;        ///< index into requests_
+        int prefillDone;    ///< prompt tokens already prefilled
+        int prefillPlanned; ///< prefill tokens in the pending plan
+        int decoded;        ///< output tokens emitted so far
+        bool decodePlanned; ///< pending plan holds one decode token
+    };
+
+    ServeSchedulerConfig cfg_;
+    std::vector<ServeRequest> requests_;
+    std::vector<RequestMetrics> metrics_;
+    std::size_t nextArrival_ = 0; ///< first not-yet-arrived request
+    std::deque<int> queue_;       ///< arrived, waiting for admission
+    std::vector<Running> running_; ///< admission-ordered running batch
+    std::vector<int> admissionOrder_;
+    std::vector<double> scenarioTokens_;
+    int kvReserved_ = 0;
+    int finished_ = 0;
+    bool planPending_ = false;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_SERVE_SCHEDULER_HH

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header of the request-level serving subsystem: arrival
+ * processes, the continuous-batching scheduler, and the SLO-reporting
+ * serving simulator layered on the InferenceEngine.
+ */
+
+#ifndef MOENTWINE_SERVE_SERVE_HH
+#define MOENTWINE_SERVE_SERVE_HH
+
+#include "serve/arrival.hh"
+#include "serve/request.hh"
+#include "serve/scheduler.hh"
+#include "serve/serve_sim.hh"
+
+#endif // MOENTWINE_SERVE_SERVE_HH

@@ -1,0 +1,116 @@
+#include "serve/serve_sim.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace moentwine {
+
+ServeSimulator::ServeSimulator(const Mapping &mapping,
+                               const ServeConfig &cfg)
+    : mapping_(mapping), cfg_(cfg)
+{
+    MOE_ASSERT(cfg.numRequests > 0, "serve run needs requests");
+    // The serving layer owns the iteration composition; the engine's
+    // fixed budgets are bypassed by the demand overload. Scenario
+    // affinities must be active for per-request scenario tags (and the
+    // drift coupling) to matter.
+    cfg_.engine.workload.mode = GatingMode::MixedScenario;
+}
+
+ServeReport
+ServeSimulator::run()
+{
+    const ArrivalProcess arrivals(cfg_.arrival);
+    ContinuousBatchScheduler sched(cfg_.scheduler,
+                                   arrivals.generate(cfg_.numRequests));
+    InferenceEngine engine(mapping_, cfg_.engine);
+
+    const double layers =
+        static_cast<double>(cfg_.engine.model.sparseLayers);
+    const int stages = cfg_.engine.pipelineStages;
+
+    ServeReport report;
+    double now = 0.0;
+    while (!sched.done()) {
+        sched.admit(now);
+        const IterationDemand demand = sched.plan();
+        if (demand.tokensPerGroup() == 0) {
+            // Nothing runnable: the platform idles until the next
+            // arrival. The scheduler guarantees a queued request is
+            // admissible once the batch drains (each fits the budget
+            // alone), so arrivals must remain — otherwise the stream
+            // would already be done.
+            const double next = sched.nextArrival();
+            MOE_ASSERT(next > now && next <
+                           std::numeric_limits<double>::infinity(),
+                       "idle serving loop with no future arrival");
+            now = next;
+            continue;
+        }
+        if (cfg_.coupleDrift)
+            engine.workload().setScenarioMix(sched.scenarioTokens());
+        const IterationStats stats = engine.step(demand);
+        now += stats.layerTime(stages) * layers;
+        sched.complete(now);
+        ++report.iterations;
+
+        ServeTracePoint point;
+        point.time = now;
+        point.queueDepth = sched.queueDepth();
+        point.running = sched.runningCount();
+        point.kvReserved = sched.kvReserved();
+        point.decodeTokens = demand.decodeTokensPerGroup;
+        point.prefillTokens = demand.prefillTokensPerGroup;
+        report.trace.push_back(point);
+    }
+
+    report.requests = sched.metrics();
+    report.makespan = now;
+
+    Summary ttft;
+    Summary tpot;
+    Summary latency;
+    double outputTokens = 0.0;
+    int good = 0;
+    for (const RequestMetrics &m : report.requests) {
+        ttft.add(m.ttft());
+        tpot.add(m.tpot());
+        latency.add(m.latency());
+        outputTokens += m.outputTokens;
+        good += cfg_.slo.met(m);
+    }
+    report.ttftP50 = ttft.percentile(50.0);
+    report.ttftP95 = ttft.percentile(95.0);
+    report.ttftP99 = ttft.percentile(99.0);
+    report.tpotP50 = tpot.percentile(50.0);
+    report.tpotP95 = tpot.percentile(95.0);
+    report.tpotP99 = tpot.percentile(99.0);
+    report.latencyP50 = latency.percentile(50.0);
+    report.latencyP99 = latency.percentile(99.0);
+    if (report.makespan > 0.0) {
+        report.throughputTokensPerSec = outputTokens / report.makespan;
+        report.goodputRequestsPerSec = good / report.makespan;
+    }
+    report.sloAttainment =
+        static_cast<double>(good) /
+        static_cast<double>(report.requests.size());
+
+    Summary queue;
+    double kvPeak = 0.0;
+    for (const ServeTracePoint &p : report.trace) {
+        queue.add(p.queueDepth);
+        kvPeak = std::max(kvPeak, static_cast<double>(p.kvReserved));
+    }
+    if (queue.count() > 0) {
+        report.queueDepthMean = queue.mean();
+        report.queueDepthMax = queue.max();
+    }
+    report.kvPeakFraction =
+        kvPeak / static_cast<double>(cfg_.scheduler.kvBudgetTokens);
+    return report;
+}
+
+} // namespace moentwine

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Request-level serving simulator: an online arrival/batching layer on
+ * top of the per-iteration InferenceEngine.
+ *
+ * ServeSimulator generates a deterministic request stream (ArrivalKind
+ * processes), admits it through the continuous-batching scheduler, and
+ * feeds the resulting dynamic per-iteration token demand into
+ * InferenceEngine::step(IterationDemand). A virtual clock advances by
+ * IterationStats::layerTime() × the model's sparse layer count per
+ * iteration, turning every steady-state engine figure into a
+ * latency/SLO curve: per-request TTFT and TPOT, percentile latency,
+ * goodput under an SLO, and queue-depth traces.
+ *
+ * Drift coupling: when enabled, the scenario mix of the tokens the
+ * scheduler actually planned each iteration drives the engine's gating
+ * mixture (WorkloadGenerator::setScenarioMix()), so balancers are
+ * evaluated against the stream they serve instead of the synthetic
+ * cyclic drift.
+ */
+
+#ifndef MOENTWINE_SERVE_SERVE_SIM_HH
+#define MOENTWINE_SERVE_SERVE_SIM_HH
+
+#include <vector>
+
+#include "engine/engine.hh"
+#include "serve/arrival.hh"
+#include "serve/request.hh"
+#include "serve/scheduler.hh"
+
+namespace moentwine {
+
+/** Latency service-level objective. */
+struct SloConfig
+{
+    /** Time-to-first-token bound (s). */
+    double ttft = 0.5;
+    /** Time-per-output-token bound (s). */
+    double tpot = 0.05;
+
+    /** True when a completed request met both bounds. */
+    bool met(const RequestMetrics &m) const
+    {
+        return m.ttft() <= ttft && m.tpot() <= tpot;
+    }
+};
+
+/** Serving-simulation configuration. */
+struct ServeConfig
+{
+    /**
+     * Engine configuration. The scheduling mode and fixed token
+     * budgets are ignored (demand is dynamic); the workload gating
+     * mode is forced to MixedScenario so the scenario-affinity
+     * machinery is active.
+     */
+    EngineConfig engine;
+    /** Arrival process of the request stream. */
+    ArrivalConfig arrival;
+    /** Continuous-batching scheduler parameters. */
+    ServeSchedulerConfig scheduler;
+    /** Latency SLO for goodput accounting. */
+    SloConfig slo;
+    /** Requests to generate and serve. */
+    int numRequests = 200;
+    /** Couple the engine's gating mixture to the live batch mix. */
+    bool coupleDrift = true;
+};
+
+/** One per-iteration sample of the serving state. */
+struct ServeTracePoint
+{
+    /** Virtual time at iteration end (s). */
+    double time = 0.0;
+    /** Wait-queue depth after admission. */
+    int queueDepth = 0;
+    /** Running batch size. */
+    int running = 0;
+    /** KV tokens reserved. */
+    int kvReserved = 0;
+    /** Decode tokens this iteration (per TP group). */
+    int decodeTokens = 0;
+    /** Prefill tokens this iteration (per TP group). */
+    int prefillTokens = 0;
+};
+
+/** Aggregate serving metrics of one run. */
+struct ServeReport
+{
+    /** Completion records in request-id order (all finished). */
+    std::vector<RequestMetrics> requests;
+    /** Per-iteration serving-state trace. */
+    std::vector<ServeTracePoint> trace;
+
+    /** Engine iterations executed. */
+    int iterations = 0;
+    /** Virtual time at which the last request finished (s). */
+    double makespan = 0.0;
+
+    // Latency percentiles (s).
+    double ttftP50 = 0.0, ttftP95 = 0.0, ttftP99 = 0.0;
+    double tpotP50 = 0.0, tpotP95 = 0.0, tpotP99 = 0.0;
+    double latencyP50 = 0.0, latencyP99 = 0.0;
+
+    /** Output tokens per second of makespan. */
+    double throughputTokensPerSec = 0.0;
+    /** SLO-satisfying completions per second of makespan. */
+    double goodputRequestsPerSec = 0.0;
+    /** Fraction of requests meeting the SLO. */
+    double sloAttainment = 0.0;
+
+    double queueDepthMean = 0.0;
+    double queueDepthMax = 0.0;
+    /** Peak KV reservation as a fraction of the budget. */
+    double kvPeakFraction = 0.0;
+};
+
+/**
+ * Online serving simulation over one mapped platform.
+ */
+class ServeSimulator
+{
+  public:
+    /**
+     * @param mapping Mapping (and topology) to serve on; must outlive
+     *                the simulator.
+     * @param cfg     Serving configuration.
+     */
+    ServeSimulator(const Mapping &mapping, const ServeConfig &cfg);
+
+    /** Run the stream to completion and report. Call once. */
+    ServeReport run();
+
+    /** The configuration in use (after normalisation). */
+    const ServeConfig &config() const { return cfg_; }
+
+  private:
+    const Mapping &mapping_;
+    ServeConfig cfg_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_SERVE_SERVE_SIM_HH

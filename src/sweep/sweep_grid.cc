@@ -28,7 +28,7 @@ SweepGrid::cells() const
     return axisLen(models.size()) * axisLen(systems.size()) *
         axisLen(tpDegrees.size()) * axisLen(balancers.size()) *
         axisLen(schedules.size()) * axisLen(gatings.size()) *
-        axisLen(params.size());
+        axisLen(params.size()) * axisLen(arrivals.size());
 }
 
 SweepPoint
@@ -39,8 +39,9 @@ SweepGrid::pointAt(std::size_t index) const
     p.grid = this;
     p.index = index;
 
-    // Row-major: models outermost, params innermost.
+    // Row-major: models outermost, arrivals innermost.
     std::size_t rest = index;
+    const std::size_t nArrival = axisLen(arrivals.size());
     const std::size_t nParam = axisLen(params.size());
     const std::size_t nGating = axisLen(gatings.size());
     const std::size_t nSchedule = axisLen(schedules.size());
@@ -48,6 +49,8 @@ SweepGrid::pointAt(std::size_t index) const
     const std::size_t nTp = axisLen(tpDegrees.size());
     const std::size_t nSystem = axisLen(systems.size());
 
+    p.arrival = axisIndex(arrivals.size(), rest % nArrival);
+    rest /= nArrival;
     p.param = axisIndex(params.size(), rest % nParam);
     rest /= nParam;
     p.gating = axisIndex(gatings.size(), rest % nGating);
@@ -66,7 +69,7 @@ SweepGrid::pointAt(std::size_t index) const
 
 std::size_t
 SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
-              int gating, int param) const
+              int gating, int param, int arrival) const
 {
     const auto clamp = [](std::size_t size, int i) -> std::size_t {
         if (size == 0) {
@@ -87,6 +90,8 @@ SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
         clamp(schedules.size(), schedule);
     index = index * axisLen(gatings.size()) + clamp(gatings.size(), gating);
     index = index * axisLen(params.size()) + clamp(params.size(), param);
+    index = index * axisLen(arrivals.size()) +
+        clamp(arrivals.size(), arrival);
     return index;
 }
 
@@ -146,6 +151,14 @@ SweepPoint::parameter() const
     return grid->params[static_cast<std::size_t>(param)];
 }
 
+ArrivalKind
+SweepPoint::arrivalKind() const
+{
+    return arrival >= 0
+        ? grid->arrivals[static_cast<std::size_t>(arrival)]
+        : ArrivalKind::Poisson;
+}
+
 uint64_t
 SweepPoint::seed(uint64_t base) const
 {
@@ -164,6 +177,7 @@ SweepPoint::seed(uint64_t base) const
     mix(static_cast<uint64_t>(static_cast<int64_t>(schedule)));
     mix(static_cast<uint64_t>(static_cast<int64_t>(gating)));
     mix(static_cast<uint64_t>(static_cast<int64_t>(param)));
+    mix(static_cast<uint64_t>(static_cast<int64_t>(arrival)));
     return h;
 }
 

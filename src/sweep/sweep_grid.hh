@@ -7,7 +7,7 @@
  * A SweepGrid declares axis values; every axis left empty contributes
  * a single wildcard cell, so drivers only populate the axes their
  * figure actually sweeps. Cells are addressed by a row-major linear
- * index (models outermost, params innermost) — SweepPoint carries both
+ * index (models outermost, arrivals innermost) — SweepPoint carries both
  * the linear index and the per-axis indices, and at() inverts the
  * mapping so drivers can render tables in any nesting order after a
  * run. Each point derives a stable 64-bit seed from its grid
@@ -48,6 +48,7 @@ struct SweepPoint
     int schedule = -1;
     int gating = -1;
     int param = -1;
+    int arrival = -1;
 
     /** Model of this cell (grid must sweep models). */
     const MoEModelConfig &modelConfig() const;
@@ -72,6 +73,10 @@ struct SweepPoint
 
     /** Free parameter of this cell (grid must sweep params). */
     double parameter() const;
+
+    /** Arrival process of this cell (Poisson when not swept) — the
+     *  serving-simulator axis (src/serve/). */
+    ArrivalKind arrivalKind() const;
 
     /**
      * Stable per-cell RNG seed: an FNV-1a hash of the grid coordinates
@@ -103,6 +108,8 @@ class SweepGrid
     std::vector<GatingMode> gatings;
     /** Free numeric axis (EP degree, ablation step, ...). */
     std::vector<double> params;
+    /** Arrival processes for serving sweeps (src/serve/); innermost. */
+    std::vector<ArrivalKind> arrivals;
 
     /** Total cell count: product over axes of max(1, axis size). */
     std::size_t cells() const;
@@ -117,7 +124,7 @@ class SweepGrid
      */
     std::size_t at(int model = -1, int system = -1, int tp = -1,
                    int balancer = -1, int schedule = -1, int gating = -1,
-                   int param = -1) const;
+                   int param = -1, int arrival = -1) const;
 };
 
 /** One row of sweep output: a label plus ordered (key, value) metrics. */

@@ -81,10 +81,39 @@ WorkloadGenerator::mixtureWeights(int iteration) const
 }
 
 void
+WorkloadGenerator::setScenarioMix(const std::vector<double> &weights)
+{
+    const std::size_t n = allScenarios().size();
+    MOE_ASSERT(weights.size() == n,
+               "scenario mix must cover every scenario");
+    double total = 0.0;
+    for (const double w : weights) {
+        MOE_ASSERT(w >= 0.0, "negative scenario mix weight");
+        total += w;
+    }
+    MOE_ASSERT(total > 0.0, "scenario mix weights sum to zero");
+    externalMix_.assign(n, 0.0);
+    for (std::size_t s = 0; s < n; ++s)
+        externalMix_[s] = weights[s] / total;
+    mixDirty_ = true;
+}
+
+void
+WorkloadGenerator::clearScenarioMix()
+{
+    externalMix_.clear();
+    mixDirty_ = true;
+}
+
+void
 WorkloadGenerator::mixtureWeightsInto(int iteration,
                                       std::vector<double> &mix) const
 {
     const auto &scenarios = allScenarios();
+    if (!externalMix_.empty()) {
+        mix = externalMix_;
+        return;
+    }
     mix.assign(scenarios.size(), 0.0);
     switch (cfg_.mode) {
       case GatingMode::Balanced:
@@ -96,23 +125,14 @@ WorkloadGenerator::mixtureWeightsInto(int iteration,
         for (std::size_t s = 0; s < scenarios.size(); ++s)
             mix[s] = scenarios[s] == cfg_.scenario ? 1.0 : 0.0;
         break;
-      case GatingMode::MixedScenario: {
-        // Smooth cyclic drift: each scenario's weight is a raised
-        // cosine with a phase offset, normalised to a convex mixture.
-        const double phase = 2.0 * M_PI *
-            static_cast<double>(iteration) /
-            static_cast<double>(cfg_.mixPeriod);
-        double total = 0.0;
-        for (std::size_t s = 0; s < scenarios.size(); ++s) {
-            const double offset = 2.0 * M_PI * static_cast<double>(s) /
-                static_cast<double>(scenarios.size());
-            mix[s] = 1.0 + std::cos(phase - offset);
-            total += mix[s];
-        }
-        for (double &m : mix)
-            m /= total;
+      case GatingMode::MixedScenario:
+        // Smooth cyclic drift: the shared raised-cosine rotation, one
+        // full turn per mixPeriod iterations.
+        rotatingScenarioMixInto(2.0 * M_PI *
+                                    static_cast<double>(iteration) /
+                                    static_cast<double>(cfg_.mixPeriod),
+                                nullptr, mix);
         break;
-      }
     }
 }
 
@@ -183,10 +203,15 @@ WorkloadGenerator::sampleCountsInto(int iteration, int layer,
     // mixPeriod iterations, so between rebuilds the sampler draws from
     // a boundedly stale distribution (the balancers react on EMAs far
     // slower than that).
-    const bool drifting = cfg_.mode == GatingMode::MixedScenario;
+    // The mixture moves when MixedScenario rotates it, or when an
+    // external mix is (or just stopped being) imposed; a dirty mix must
+    // be drift-checked even at an unchanged iteration index.
+    const bool drifting = cfg_.mode == GatingMode::MixedScenario ||
+        !externalMix_.empty() || mixDirty_;
     bool rebuild = alias_.size() == 0 || layer != aliasLayer_;
     bool mixInScratch = false;
-    if (!rebuild && drifting && iteration != aliasIteration_) {
+    if (!rebuild && drifting &&
+        (iteration != aliasIteration_ || mixDirty_)) {
         // Non-monotonic iteration jumps (tests, replays) force a
         // rebuild rather than trusting a stale age computation.
         const bool aged = iteration < aliasIteration_ ||
@@ -196,12 +221,19 @@ WorkloadGenerator::sampleCountsInto(int iteration, int layer,
         } else {
             mixtureWeightsInto(iteration, mixScratch_);
             mixInScratch = true;
-            double drift = 0.0;
-            for (std::size_t s = 0; s < mixScratch_.size(); ++s)
-                drift += std::abs(mixScratch_[s] - aliasMix_[s]);
-            rebuild = drift > cfg_.aliasDriftTolerance;
+            if (aliasMix_.size() != mixScratch_.size()) {
+                // The last build ran in a fixed regime and recorded no
+                // drift reference.
+                rebuild = true;
+            } else {
+                double drift = 0.0;
+                for (std::size_t s = 0; s < mixScratch_.size(); ++s)
+                    drift += std::abs(mixScratch_[s] - aliasMix_[s]);
+                rebuild = drift > cfg_.aliasDriftTolerance;
+            }
         }
     }
+    mixDirty_ = false;
     if (rebuild) {
         affinityInto(iteration, layer, affinityScratch_);
         alias_.build(affinityScratch_);

@@ -133,6 +133,23 @@ class WorkloadGenerator
                           int dpGroups,
                           std::vector<std::vector<int>> &counts);
 
+    /**
+     * Drive the scenario mixture from an external source (the serving
+     * layer's live mix of admitted requests) instead of the internal
+     * cyclic drift. @p weights are unnormalised non-negative weights
+     * over allScenarios() (Σ > 0); they stay in effect until the next
+     * setScenarioMix() or clearScenarioMix() call. The gating sampler
+     * adopts the change on its alias-rebuild cadence: immediately when
+     * the mixture moved more than aliasDriftTolerance since the last
+     * build, else within aliasRebuildPeriod iterations. Only
+     * meaningful for the scenario-driven modes (Balanced gating
+     * ignores mixtures).
+     */
+    void setScenarioMix(const std::vector<double> &weights);
+
+    /** Return to the internally generated scenario mixture. */
+    void clearScenarioMix();
+
     /** Aggregate expert loads (column sums of sampleCounts output). */
     static std::vector<double> expertLoads(
         const std::vector<std::vector<int>> &counts, int numExperts);
@@ -160,6 +177,12 @@ class WorkloadGenerator
 
     WorkloadConfig cfg_;
     Rng rng_;
+    // Externally imposed scenario mixture (normalised); empty when the
+    // internal per-iteration drift drives the mix. The dirty flag makes
+    // the next sampleCountsInto() drift-check the new mixture even when
+    // the iteration index did not advance since the last alias build.
+    std::vector<double> externalMix_;
+    bool mixDirty_ = false;
     // Per-scenario base affinities for cachedLayer_, built lazily so
     // per-iteration sampling does not recompute the Zipf tables.
     mutable int cachedLayer_ = -1;

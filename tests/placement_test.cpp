@@ -132,3 +132,78 @@ TEST(Placement, CopySemanticsIndependent)
     EXPECT_TRUE(b.hosts(1, 0));
     EXPECT_FALSE(a.hosts(1, 0));
 }
+
+// ------------------------------------- incremental heat tracking ----
+
+namespace {
+
+/** Tracked heats must match a from-scratch recompute (FP tolerance). */
+void
+expectHeatsMatchRecompute(const ExpertPlacement &p,
+                          const std::vector<double> &loads)
+{
+    const auto fresh = p.deviceHeats(loads);
+    const auto &tracked = p.heats();
+    ASSERT_EQ(fresh.size(), tracked.size());
+    for (std::size_t d = 0; d < fresh.size(); ++d)
+        EXPECT_NEAR(tracked[d], fresh[d], 1e-9) << "device " << d;
+}
+
+} // namespace
+
+TEST(PlacementHeatTracking, AddRemoveMaintainHeatsIncrementally)
+{
+    ExpertPlacement p(8, 4, 2);
+    std::vector<double> loads{5, 1, 2, 8, 3, 1, 4, 6};
+    p.setExpertLoads(loads);
+    ASSERT_TRUE(p.tracksLoads());
+    expectHeatsMatchRecompute(p, loads);
+
+    p.addReplica(3, 0);
+    expectHeatsMatchRecompute(p, loads);
+    p.addReplica(3, 2);
+    expectHeatsMatchRecompute(p, loads);
+    p.addReplica(7, 1);
+    expectHeatsMatchRecompute(p, loads);
+    p.removeReplica(3, 0);
+    expectHeatsMatchRecompute(p, loads);
+    p.removeReplica(7, 1);
+    expectHeatsMatchRecompute(p, loads);
+}
+
+TEST(PlacementHeatTracking, UpdateExpertLoadIsIncremental)
+{
+    ExpertPlacement p(8, 4, 2);
+    std::vector<double> loads{5, 1, 2, 8, 3, 1, 4, 6};
+    p.setExpertLoads(loads);
+    p.addReplica(3, 0); // replicated expert: delta splits across hosts
+
+    loads[3] = 2.0;
+    p.updateExpertLoad(3, 2.0);
+    expectHeatsMatchRecompute(p, loads);
+    loads[0] = 11.5;
+    p.updateExpertLoad(0, 11.5);
+    expectHeatsMatchRecompute(p, loads);
+}
+
+TEST(PlacementHeatTracking, ResetToNativeRebuildsTrackedHeats)
+{
+    ExpertPlacement p(8, 4, 2);
+    const std::vector<double> loads{5, 1, 2, 8, 3, 1, 4, 6};
+    p.setExpertLoads(loads);
+    p.addReplica(3, 0);
+    p.addReplica(6, 1);
+    p.resetToNative();
+    expectHeatsMatchRecompute(p, loads);
+}
+
+TEST(PlacementHeatTracking, ClearStopsTracking)
+{
+    ExpertPlacement p(8, 4, 1);
+    p.setExpertLoads({1, 2, 3, 4, 5, 6, 7, 8});
+    p.clearExpertLoads();
+    EXPECT_FALSE(p.tracksLoads());
+    // Untracked mutations must not touch (absent) heat state.
+    p.addReplica(0, 1);
+    p.removeReplica(0, 1);
+}
