@@ -16,6 +16,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -113,7 +114,7 @@ main(int argc, char **argv)
         grid.systems.push_back(sc);
     }
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const SystemConfig sc = cell.point.systemConfig();
         const PlatformPolicy policy = policyFor(sc);

@@ -17,6 +17,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -31,7 +32,7 @@ main(int argc, char **argv)
     grid.models = {deepseekV3(), qwen3()};
     grid.params = {8, 16, 32, 72, 256}; // EP degrees
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const MoEModelConfig &model = cell.point.modelConfig();
         const int ep = static_cast<int>(cell.point.parameter());

@@ -15,6 +15,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -37,7 +38,7 @@ main(int argc, char **argv)
     }
     grid.params = {2048, 64}; // prefill / decode tokens per group
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const int tokens = static_cast<int>(cell.point.parameter());
         const auto r = evaluateCommunication(

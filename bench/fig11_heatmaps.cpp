@@ -22,6 +22,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -97,7 +98,7 @@ main(int argc, char **argv)
     // Each cell renders its heatmaps into its own slot; the serial
     // print loop below reads them without recomputing anything.
     std::vector<Heatmaps> maps(grid.cells());
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [&maps](const SweepCell &cell) {
         return complementarity(
             kCases[static_cast<int>(cell.point.parameter())],

@@ -16,6 +16,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -84,7 +85,7 @@ main(int argc, char **argv)
     for (std::size_t s = 0; s < allScenarios().size(); ++s)
         grid.params.push_back(static_cast<double>(s));
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         return trace(allScenarios()[static_cast<std::size_t>(
             cell.point.parameter())]);

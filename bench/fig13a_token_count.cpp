@@ -15,6 +15,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -62,7 +63,7 @@ main(int argc, char **argv)
     grid.params = {16,   32,   64,   128,  256,  512,
                    1024, 2048, 4096, 8192, 16384, 32768};
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const int tokens = static_cast<int>(cell.point.parameter());
         SweepResult row;

@@ -16,6 +16,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -42,7 +43,7 @@ main(int argc, char **argv)
         grid.systems.push_back(sc); // 2: WSC ER-Mapping
     }
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [&](const SweepCell &cell) {
         const MoEModelConfig &model = cell.point.modelConfig();
         const auto comm = evaluateCommunication(

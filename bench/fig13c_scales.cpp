@@ -15,6 +15,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -60,7 +61,7 @@ main(int argc, char **argv)
         }
     }
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const auto r = evaluateCommunication(cell.system->mapping(),
                                              qwen3(), 256, true);

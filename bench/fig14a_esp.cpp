@@ -15,6 +15,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -51,7 +52,7 @@ main(int argc, char **argv)
         grid.systems.push_back(sc); // kEr
     }
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         EngineConfig ec;
         ec.model = cell.point.modelConfig();

@@ -14,6 +14,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -34,7 +35,7 @@ main(int argc, char **argv)
     }
     grid.params = {0, 1}; // retain all-gather?
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const bool withAg = cell.point.parameter() != 0;
         const auto r = evaluateCommunication(

@@ -18,6 +18,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -60,7 +61,7 @@ main(int argc, char **argv)
                       BalancerKind::TopologyAware,
                       BalancerKind::NonInvasive};
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         EngineConfig ec;
         ec.model = qwen3();

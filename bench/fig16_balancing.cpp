@@ -20,6 +20,7 @@
 #include "core/moentwine.hh"
 #include "fig16_grid.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -72,7 +73,7 @@ main(int argc, char **argv)
 
     const SweepGrid grid = benchgrid::fig16BalancingGrid();
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const EngineConfig ec = benchgrid::fig16EngineConfig(cell.point);
         InferenceEngine engine(cell.system->mapping(), ec);

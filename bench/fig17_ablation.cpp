@@ -24,6 +24,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -91,7 +92,7 @@ main(int argc, char **argv)
     for (std::size_t s = 0; s < ladder.size(); ++s)
         grid.params[s] = static_cast<double>(s);
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [&](const SweepCell &cell) {
         const LadderStep &step = ladder[static_cast<std::size_t>(
             cell.point.parameter())];

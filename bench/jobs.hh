@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared worker-count resolution for the bench drivers.
+ *
+ * Every driver honours the same convention:
+ *   `--jobs N` argument > `MOENTWINE_JOBS` env > hardware_concurrency()
+ * These helpers are the one place that convention is spelled, so a
+ * driver's main() reduces to `benchjobs::makeRunner(argc, argv)` (or
+ * `benchjobs::resolve(argc, argv)` when it needs the bare count).
+ */
+
+#ifndef MOENTWINE_BENCH_JOBS_HH
+#define MOENTWINE_BENCH_JOBS_HH
+
+#include "sweep/sweep_runner.hh"
+
+namespace moentwine {
+namespace benchjobs {
+
+/** Resolved worker count for a driver's command line. */
+inline int
+resolve(int argc, char **argv)
+{
+    return SweepRunner::resolveJobs(
+        SweepRunner::jobsFromArgs(argc, argv));
+}
+
+/** A SweepRunner sized by resolve() for a driver's command line. */
+inline SweepRunner
+makeRunner(int argc, char **argv)
+{
+    return SweepRunner(SweepRunner::jobsFromArgs(argc, argv));
+}
+
+} // namespace benchjobs
+} // namespace moentwine
+
+#endif // MOENTWINE_BENCH_JOBS_HH

@@ -8,10 +8,15 @@
  *
  * Emits a stable JSON trajectory to stdout and to BENCH_routing.json so
  * future PRs have a perf baseline to beat:
- *   {"bench": ..., "iters_per_sec": ..., "ns_per_route": ...}
- * plus, since the sweep subsystem landed, a serial-vs-parallel wall
- * clock of a fig16-style grid on the SweepRunner thread pool:
+ *   {"bench": ..., "iters_per_sec": ..., "ns_per_route": ...,
+ *    "route_storage": {"csr_bytes": ..., "next_hop_bytes": ...}}
+ * plus a serial-vs-parallel wall clock of a fig16-style grid on the
+ * SweepRunner thread pool:
  *   "sweep": {"cells": ..., "jobs": ..., "speedup": ...}
+ * and, since the compressed next-hop storage landed, a 1024-device
+ * scale point comparing the two route representations (build time,
+ * storage bytes, per-walk overhead):
+ *   "scale": {"devices": 1024, "bytes_ratio": ..., ...}
  *
  * Usage: perf_routing [iterations] [--jobs N]
  *        (default 300 cached / 60 baseline; jobs default to
@@ -28,6 +33,7 @@
 
 #include "core/moentwine.hh"
 #include "fig16_grid.hh"
+#include "jobs.hh"
 #include "sweep/sweep.hh"
 
 using namespace moentwine;
@@ -88,6 +94,8 @@ struct BenchResult
     double nsPerRoute = 0.0;
     double baselineItersPerSec = 0.0;
     double baselineNsPerRoute = 0.0;
+    std::size_t csrBytes = 0;
+    std::size_t nextHopBytes = 0;
 
     double speedup() const
     {
@@ -95,7 +103,31 @@ struct BenchResult
             ? itersPerSec / baselineItersPerSec
             : 0.0;
     }
+
+    double bytesRatio() const
+    {
+        return nextHopBytes > 0
+            ? static_cast<double>(csrBytes) /
+                static_cast<double>(nextHopBytes)
+            : 0.0;
+    }
 };
+
+/**
+ * Peak route-storage footprint of both representations on @p topo:
+ * builds each in turn and reads its heap bytes, then restores the
+ * Auto policy (the topology rebuilds lazily on next use).
+ */
+void
+measureRouteStorage(Topology &topo, std::size_t &csrBytes,
+                    std::size_t &nextHopBytes)
+{
+    topo.setRouteStorage(RouteStorageKind::CsrArena);
+    csrBytes = topo.routeStorageBytes();
+    topo.setRouteStorage(RouteStorageKind::NextHop);
+    nextHopBytes = topo.routeStorageBytes();
+    topo.setRouteStorage(RouteStorageKind::Auto);
+}
 
 /**
  * Run one platform in both modes. The topology is taken non-const so
@@ -114,6 +146,9 @@ runPlatform(const std::string &label, Topology &topo,
     r.itersPerSec = engineThroughput(mapping, cfg, iters);
     r.nsPerRoute = nsPerRouteLookup(topo, 200000);
 
+    // Route-storage footprint under both representations.
+    measureRouteStorage(topo, r.csrBytes, r.nextHopBytes);
+
     // Baseline: per-query route derivation, per-triple flow lists.
     topo.disableRouteCache();
     cfg.aggregateFlows = false;
@@ -123,9 +158,93 @@ runPlatform(const std::string &label, Topology &topo,
     topo.enableRouteCache();
 
     std::printf("%-24s cached %8.1f it/s | baseline %8.1f it/s | "
-                "speedup %5.2fx | route %6.1f ns vs %8.1f ns\n",
+                "speedup %5.2fx | route %6.1f ns vs %8.1f ns | "
+                "storage csr %zu B vs nexthop %zu B (%.1fx)\n",
                 r.bench.c_str(), r.itersPerSec, r.baselineItersPerSec,
-                r.speedup(), r.nsPerRoute, r.baselineNsPerRoute);
+                r.speedup(), r.nsPerRoute, r.baselineNsPerRoute,
+                r.csrBytes, r.nextHopBytes, r.bytesRatio());
+    return r;
+}
+
+/**
+ * The kilodevice scale point the compressed storage exists for: a
+ * 4x(16x16) multi-wafer mesh (1024 devices). Records build time,
+ * storage bytes, and per-walk overhead of each representation; the
+ * CSR arena at this size is ~6x the next-hop matrix and grows with
+ * average hop count, which is what capped earlier systems.
+ */
+struct ScaleResult
+{
+    std::string bench;
+    int devices = 0;
+    std::size_t csrBytes = 0;
+    std::size_t nextHopBytes = 0;
+    double csrBuildSeconds = 0.0;
+    double nextHopBuildSeconds = 0.0;
+    double nsPerWalkCsr = 0.0;
+    double nsPerWalkNextHop = 0.0;
+
+    double bytesRatio() const
+    {
+        return nextHopBytes > 0
+            ? static_cast<double>(csrBytes) /
+                static_cast<double>(nextHopBytes)
+            : 0.0;
+    }
+};
+
+/** Average wall-clock nanoseconds of one full walk() link iteration. */
+double
+nsPerWalk(const Topology &topo, int samples)
+{
+    const int devices = topo.numDevices();
+    long hopsSum = 0;
+    DeviceId a = 0;
+    const auto start = Clock::now();
+    for (int i = 0; i < samples; ++i) {
+        const DeviceId b = (a * 31 + 17) % devices;
+        for (const LinkId l : topo.walk(a, b))
+            hopsSum += l >= 0 ? 1 : 0;
+        a = (a + 1) % devices;
+    }
+    const double elapsed = secondsSince(start);
+    if (hopsSum < 0)
+        std::printf("impossible\n");
+    return elapsed * 1e9 / static_cast<double>(samples);
+}
+
+ScaleResult
+runScaleBench()
+{
+    ScaleResult r;
+    r.bench = "wsc_4x(16x16)_1024dev";
+
+    MeshTopology mesh = MeshTopology::waferRow(4, 16);
+    r.devices = mesh.numDevices();
+
+    // Compressed next-hop matrix (what Auto selects at this size).
+    mesh.setRouteStorage(RouteStorageKind::NextHop);
+    auto start = Clock::now();
+    mesh.finalizeRoutes();
+    r.nextHopBuildSeconds = secondsSince(start);
+    r.nextHopBytes = mesh.routeStorageBytes();
+    r.nsPerWalkNextHop = nsPerWalk(mesh, 200000);
+
+    // CSR arena on the same topology for the memory-curve comparison.
+    mesh.setRouteStorage(RouteStorageKind::CsrArena);
+    start = Clock::now();
+    mesh.finalizeRoutes();
+    r.csrBuildSeconds = secondsSince(start);
+    r.csrBytes = mesh.routeStorageBytes();
+    r.nsPerWalkCsr = nsPerWalk(mesh, 200000);
+
+    std::printf("%-24s %d devices | storage csr %.1f MB vs nexthop "
+                "%.1f MB (%.1fx) | walk %5.1f ns vs %5.1f ns | "
+                "build %.2f s vs %.2f s\n",
+                r.bench.c_str(), r.devices, r.csrBytes / 1e6,
+                r.nextHopBytes / 1e6, r.bytesRatio(), r.nsPerWalkCsr,
+                r.nsPerWalkNextHop, r.csrBuildSeconds,
+                r.nextHopBuildSeconds);
     return r;
 }
 
@@ -213,25 +332,40 @@ runSweepBench(int jobs)
 }
 
 std::string
-toJson(const std::vector<BenchResult> &results,
+toJson(const std::vector<BenchResult> &results, const ScaleResult &scale,
        const SweepBenchResult &sweep)
 {
-    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v2\",\n"
+    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v3\",\n"
                       "  \"results\": [\n";
-    char buf[512];
+    char buf[640];
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
         std::snprintf(
             buf, sizeof(buf),
             "    {\"bench\": \"%s\", \"iters_per_sec\": %.1f, "
             "\"ns_per_route\": %.1f, \"baseline_iters_per_sec\": %.1f, "
-            "\"baseline_ns_per_route\": %.1f, \"speedup\": %.2f}%s\n",
+            "\"baseline_ns_per_route\": %.1f, \"speedup\": %.2f, "
+            "\"route_storage\": {\"csr_bytes\": %zu, "
+            "\"next_hop_bytes\": %zu, \"bytes_ratio\": %.2f}}%s\n",
             r.bench.c_str(), r.itersPerSec, r.nsPerRoute,
             r.baselineItersPerSec, r.baselineNsPerRoute, r.speedup(),
+            r.csrBytes, r.nextHopBytes, r.bytesRatio(),
             i + 1 < results.size() ? "," : "");
         out += buf;
     }
     out += "  ],\n";
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"scale\": {\"bench\": \"%s\", \"devices\": %d, "
+        "\"csr_bytes\": %zu, \"next_hop_bytes\": %zu, "
+        "\"bytes_ratio\": %.2f, \"csr_build_s\": %.3f, "
+        "\"next_hop_build_s\": %.3f, \"ns_per_walk_csr\": %.1f, "
+        "\"ns_per_walk_next_hop\": %.1f},\n",
+        scale.bench.c_str(), scale.devices, scale.csrBytes,
+        scale.nextHopBytes, scale.bytesRatio(), scale.csrBuildSeconds,
+        scale.nextHopBuildSeconds, scale.nsPerWalkCsr,
+        scale.nsPerWalkNextHop);
+    out += buf;
     std::snprintf(
         buf, sizeof(buf),
         "  \"sweep\": {\"bench\": \"%s\", \"cells\": %zu, "
@@ -270,8 +404,7 @@ main(int argc, char **argv)
             return 2;
         }
     }
-    const int jobs = SweepRunner::resolveJobs(
-        SweepRunner::jobsFromArgs(argc, argv));
+    const int jobs = benchjobs::resolve(argc, argv);
 
     // Fig. 16-style serving workload: decode iterations over a drifting
     // scenario mixture, which keeps gating (and therefore the flow set)
@@ -303,12 +436,16 @@ main(int argc, char **argv)
             runPlatform("dgx_4node_tp4", dgx, cm, cfg, iters));
     }
 
+    // Kilodevice scale point: the compressed next-hop storage vs the
+    // CSR arena on a 1024-device multi-wafer mesh.
+    const ScaleResult scale = runScaleBench();
+
     // Parallel-sweep trajectory: serial vs thread-pooled wall-clock of
     // a fig16-style grid (the workload every converted fig driver now
     // runs through SweepRunner).
     const SweepBenchResult sweep = runSweepBench(jobs);
 
-    const std::string json = toJson(results, sweep);
+    const std::string json = toJson(results, scale, sweep);
     std::printf("\n%s", json.c_str());
 
     if (std::FILE *f = std::fopen("BENCH_routing.json", "w")) {

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Large-topology smoke: a 1024-device multi-wafer mesh (4×(16×16),
+ * HER-Mapping) built under the compressed next-hop route storage,
+ * driven through a short engine sweep. Exists so the kilodevice scale
+ * path cannot silently regress: CI runs it in the regular matrix and
+ * under ThreadSanitizer (the sweep cells share one finalized next-hop
+ * System across workers).
+ *
+ * Checks (any failure exits non-zero):
+ *  - Auto storage policy resolves to the next-hop matrix at this size;
+ *  - sampled next-hop walks reconstruct fresh XY routes link by link;
+ *  - a short engine run completes with positive, finite layer times,
+ *    serially and on the thread pool with byte-identical results;
+ *  - (unless --no-csr, which the slower TSan job passes) the
+ *    compressed storage is ≥ 4× smaller than the CSR arena — the
+ *    memory win the representation exists for.
+ *
+ * Usage: scale_smoke [--jobs N] [--no-csr]
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/moentwine.hh"
+#include "jobs.hh"
+#include "sweep/sweep.hh"
+
+using namespace moentwine;
+
+namespace {
+
+/** Sampled walk-vs-computeRoute equivalence; returns mismatch count. */
+int
+checkSampledWalks(const Topology &topo)
+{
+    int mismatches = 0;
+    const int devices = topo.numDevices();
+    for (DeviceId s = 0; s < devices; s += 61) {
+        for (DeviceId d = 0; d < devices; d += 67) {
+            const auto fresh = topo.computeRoute(s, d);
+            std::size_t i = 0;
+            for (const LinkId l : topo.walk(s, d)) {
+                if (i >= fresh.size() || l != fresh[i])
+                    ++mismatches;
+                ++i;
+            }
+            if (i != fresh.size())
+                ++mismatches;
+        }
+    }
+    return mismatches;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool skipCsr = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--no-csr") == 0)
+            skipCsr = true;
+    }
+
+    std::printf("== scale smoke: 1024-device multi-wafer mesh, "
+                "next-hop route storage ==\n");
+
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscHer;
+    sc.meshN = 16;
+    sc.wafers = 4;
+    sc.tp = 4;
+    const auto sys = std::make_shared<const System>(System::make(sc));
+
+    const Topology &topo = sys->topology();
+    std::printf("system: %s, %d devices, %zu links\n",
+                sys->name().c_str(), topo.numDevices(),
+                topo.links().size());
+    if (topo.numDevices() < 1024) {
+        std::fprintf(stderr, "FAIL: expected >= 1024 devices\n");
+        return 1;
+    }
+    if (!topo.usingNextHopRoutes()) {
+        std::fprintf(stderr,
+                     "FAIL: Auto policy did not select the next-hop "
+                     "storage at %d devices\n",
+                     topo.numDevices());
+        return 1;
+    }
+
+    const int mismatches = checkSampledWalks(topo);
+    if (mismatches != 0) {
+        std::fprintf(stderr,
+                     "FAIL: %d sampled walk mismatches vs XY routes\n",
+                     mismatches);
+        return 1;
+    }
+    std::printf("sampled walks: OK\n");
+
+    // Short engine run over a two-cell balancer sweep: exercises the
+    // full dispatch/combine/collective path at scale, with the shared
+    // const System read concurrently by the pool workers (the TSan
+    // target of this smoke).
+    SweepGrid grid;
+    grid.balancers = {BalancerKind::None, BalancerKind::TopologyAware};
+    const SweepRunner::CellFn cell = [&sys](const SweepCell &c) {
+        EngineConfig ec;
+        ec.model = qwen3();
+        ec.schedule = SchedulingMode::DecodeOnly;
+        ec.decodeTokensPerGroup = 64;
+        ec.workload.mode = GatingMode::MixedScenario;
+        ec.balancer = c.point.balancerKind();
+        ec.beta = 2;
+        InferenceEngine engine(sys->mapping(), ec);
+        double layerSum = 0.0;
+        for (const auto &s : engine.run(3))
+            layerSum += s.layerTime(ec.pipelineStages);
+        SweepResult row;
+        row.label = "balancer" + std::to_string(c.point.index);
+        row.add("layer_sum_s", layerSum);
+        return row;
+    };
+
+    const SweepRunner serial(1);
+    const auto serialRows = serial.run(grid, cell);
+    const SweepRunner pool = benchjobs::makeRunner(argc, argv);
+    const auto poolRows = pool.run(grid, cell);
+    for (std::size_t i = 0; i < serialRows.size(); ++i) {
+        const double layer = serialRows[i].metric("layer_sum_s");
+        std::printf("cell %zu: layer_sum %.6e s\n", i, layer);
+        if (!(layer > 0.0) || !std::isfinite(layer)) {
+            std::fprintf(stderr, "FAIL: non-finite layer time\n");
+            return 1;
+        }
+        if (layer != poolRows[i].metric("layer_sum_s")) {
+            std::fprintf(stderr,
+                         "FAIL: parallel row diverged from serial\n");
+            return 1;
+        }
+    }
+    std::printf("engine smoke (jobs=%d): OK\n", pool.jobs());
+
+    if (!skipCsr) {
+        // The memory win itself: the CSR arena on an identical mesh
+        // must be at least 4x the compressed matrix at this scale.
+        MeshTopology csrMesh = MeshTopology::waferRow(4, 16);
+        csrMesh.setRouteStorage(RouteStorageKind::CsrArena);
+        const double csrBytes =
+            static_cast<double>(csrMesh.routeStorageBytes());
+        const double nhBytes =
+            static_cast<double>(topo.routeStorageBytes());
+        const double ratio = csrBytes / nhBytes;
+        std::printf("route storage: csr %.1f MB vs next-hop %.1f MB "
+                    "(%.1fx)\n",
+                    csrBytes / 1e6, nhBytes / 1e6, ratio);
+        if (ratio < 4.0) {
+            std::fprintf(stderr,
+                         "FAIL: compression ratio %.2f < 4.0\n", ratio);
+            return 1;
+        }
+    }
+
+    std::printf("scale smoke: PASS\n");
+    return 0;
+}

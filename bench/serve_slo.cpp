@@ -22,6 +22,7 @@
 #include "common/logging.hh"
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -137,7 +138,7 @@ main(int argc, char **argv)
     grid.arrivals = {ArrivalKind::Poisson, ArrivalKind::Bursty,
                      ArrivalKind::Diurnal, ArrivalKind::Trace};
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [&](const SweepCell &cell) {
         const ServeConfig sc = cellConfig(cell.point, requests);
         ServeSimulator sim(cell.system->mapping(), sc);

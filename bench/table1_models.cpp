@@ -11,6 +11,7 @@
 
 #include "core/moentwine.hh"
 #include "sweep/sweep.hh"
+#include "jobs.hh"
 #include "sweep_output.hh"
 
 using namespace moentwine;
@@ -23,7 +24,7 @@ main(int argc, char **argv)
     SweepGrid grid;
     grid.models = allModels();
 
-    const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+    const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const MoEModelConfig &m = cell.point.modelConfig();
         SweepResult row;

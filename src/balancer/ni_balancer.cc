@@ -52,15 +52,15 @@ NiBalancer::plan(const std::vector<double> &expertLoads,
 std::vector<NiBalancer::Segment>
 NiBalancer::decompose(DeviceId src, DeviceId dst) const
 {
-    const auto path = mapping_.topology().route(src, dst);
-    MOE_ASSERT(!path.empty(), "empty migration route");
+    MOE_ASSERT(mapping_.topology().hops(src, dst) > 0,
+               "empty migration route");
     std::vector<Segment> segments;
     const auto &links = mapping_.topology().links();
     const int devices = mapping_.numDevices();
     // Links touching internal switch nodes (no FTD of their own)
     // inherit the flow-level classification.
     const bool flowLocal = mapping_.ftdOf(src) == mapping_.ftdOf(dst);
-    for (const LinkId l : path) {
+    for (const LinkId l : mapping_.topology().walk(src, dst)) {
         const Link &link = links[static_cast<std::size_t>(l)];
         bool local = flowLocal;
         if (link.src < devices && link.dst < devices)

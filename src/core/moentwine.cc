@@ -9,10 +9,16 @@ System::make(const SystemConfig &cfg)
 {
     System sys;
     sys.cfg_ = cfg;
+    // Applied to the topology right after construction, before any
+    // mapping may trigger a route build.
+    const auto applyStorage = [&cfg](Topology &topo) {
+        topo.setRouteStorage(cfg.routeStorage);
+    };
     switch (cfg.platform) {
       case PlatformKind::WscBaseline: {
         sys.mesh_ = std::make_unique<MeshTopology>(
             MeshTopology::waferRow(cfg.wafers, cfg.meshN));
+        applyStorage(*sys.mesh_);
         const auto par = decomposeTp(cfg.tp, sys.mesh_->rows(),
                                      sys.mesh_->cols());
         sys.mapping_ =
@@ -22,6 +28,7 @@ System::make(const SystemConfig &cfg)
       case PlatformKind::WscEr: {
         sys.mesh_ = std::make_unique<MeshTopology>(
             MeshTopology::waferRow(cfg.wafers, cfg.meshN));
+        applyStorage(*sys.mesh_);
         const auto par = decomposeTp(cfg.tp, sys.mesh_->rows(),
                                      sys.mesh_->cols());
         sys.mapping_ = std::make_unique<ErMapping>(*sys.mesh_, par);
@@ -30,6 +37,7 @@ System::make(const SystemConfig &cfg)
       case PlatformKind::WscHer: {
         sys.mesh_ = std::make_unique<MeshTopology>(
             MeshTopology::waferRow(cfg.wafers, cfg.meshN));
+        applyStorage(*sys.mesh_);
         const auto par = decomposeTp(cfg.tp, sys.mesh_->waferRows(),
                                      sys.mesh_->waferCols());
         sys.mapping_ =
@@ -39,6 +47,7 @@ System::make(const SystemConfig &cfg)
       case PlatformKind::DgxCluster: {
         sys.cluster_ = std::make_unique<SwitchClusterTopology>(
             SwitchClusterTopology::dgx(cfg.dgxNodes));
+        applyStorage(*sys.cluster_);
         sys.mapping_ =
             std::make_unique<ClusterMapping>(*sys.cluster_, cfg.tp);
         break;
@@ -46,6 +55,7 @@ System::make(const SystemConfig &cfg)
       case PlatformKind::Nvl72: {
         sys.cluster_ = std::make_unique<SwitchClusterTopology>(
             SwitchClusterTopology::nvl72());
+        applyStorage(*sys.cluster_);
         sys.mapping_ =
             std::make_unique<ClusterMapping>(*sys.cluster_, cfg.tp);
         break;

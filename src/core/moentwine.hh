@@ -74,6 +74,14 @@ struct SystemConfig
     int tp = 4;
     /** DGX node count (DgxCluster platform only). */
     int dgxNodes = 4;
+    /**
+     * All-pairs route storage policy for the topology. Auto picks the
+     * CSR arena below Topology::kNextHopAutoThreshold devices and the
+     * compressed next-hop matrix at or above it; force a kind to run
+     * the same system under both representations (they are bitwise
+     * equivalent — see tests/next_hop_test.cpp).
+     */
+    RouteStorageKind routeStorage = RouteStorageKind::Auto;
 };
 
 /**

@@ -61,7 +61,10 @@ ringCollectiveAppend(const Topology &topo,
         for (std::size_t i = 0; i < p; ++i) {
             const DeviceId src = ring[i];
             const DeviceId dst = ring[(i + 1) % p];
-            scratch.traffic.addPath(topo.route(src, dst),
+            // addFlow walks the deterministic route in place, so this
+            // stays allocation-free under both route storages (ring
+            // neighbours are distinct devices and chunk is positive).
+            scratch.traffic.addFlow(src, dst,
                                     chunk * static_cast<double>(rounds));
         }
     }

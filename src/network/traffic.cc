@@ -38,7 +38,20 @@ PhaseTraffic::addFlow(DeviceId src, DeviceId dst, double bytes)
     MOE_ASSERT(bytes >= 0.0, "flow volume must be non-negative");
     if (src == dst || bytes == 0.0)
         return;
-    addPath(topo_.route(src, dst), bytes);
+    // Walk the deterministic route without borrowing an arena slice:
+    // under the CSR storage the walker iterates the cached view, under
+    // the compressed storage it follows next-hop links — either way
+    // the link order (and therefore the latency summation) is the one
+    // computeRoute() defines, and no allocation happens.
+    double pathLatency = 0.0;
+    for (const LinkId l : topo_.walk(src, dst)) {
+        MOE_ASSERT(l >= 0 && static_cast<std::size_t>(l) < volume_.size(),
+                   "bad link id in route walk");
+        volume_[static_cast<std::size_t>(l)] += bytes;
+        pathLatency += topo_.links()[static_cast<std::size_t>(l)].latency;
+    }
+    maxPathLatency_ = std::max(maxPathLatency_, pathLatency);
+    totalFlowBytes_ += bytes;
 }
 
 void
@@ -46,20 +59,6 @@ PhaseTraffic::addFlows(const std::vector<Flow> &flows)
 {
     for (const Flow &f : flows)
         addFlow(f.src, f.dst, f.bytes);
-}
-
-void
-PhaseTraffic::addPath(PathView path, double bytes)
-{
-    double pathLatency = 0.0;
-    for (LinkId l : path) {
-        MOE_ASSERT(l >= 0 && static_cast<std::size_t>(l) < volume_.size(),
-                   "bad link id in path");
-        volume_[static_cast<std::size_t>(l)] += bytes;
-        pathLatency += topo_.links()[static_cast<std::size_t>(l)].latency;
-    }
-    maxPathLatency_ = std::max(maxPathLatency_, pathLatency);
-    totalFlowBytes_ += bytes;
 }
 
 void

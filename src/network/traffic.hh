@@ -63,20 +63,15 @@ class PhaseTraffic
      */
     void clear();
 
-    /** Add a flow routed deterministically by the topology. */
+    /**
+     * Add a flow along the topology's deterministic route, walked in
+     * place (Topology::walk()): allocation-free under both route
+     * storages.
+     */
     void addFlow(DeviceId src, DeviceId dst, double bytes);
 
     /** Add all flows of @p flows. */
     void addFlows(const std::vector<Flow> &flows);
-
-    /** Add volume along an explicit link path (collective steps). */
-    void addPath(PathView path, double bytes);
-
-    /** Add volume along an explicit link path (vector convenience). */
-    void addPath(const std::vector<LinkId> &path, double bytes)
-    {
-        addPath(PathView(path.data(), path.size()), bytes);
-    }
 
     /** Merge another phase's per-link volumes into this one. */
     void merge(const PhaseTraffic &other);
@@ -87,7 +82,7 @@ class PhaseTraffic
      */
     double serializationTime() const;
 
-    /** Worst accumulated path latency over all added flows/paths. */
+    /** Worst accumulated path latency over all added flows. */
     double maxPathLatency() const { return maxPathLatency_; }
 
     /**

@@ -20,6 +20,9 @@
  *
  * Job-count convention, used by every converted bench driver:
  *   --jobs N argument > MOENTWINE_JOBS env > hardware_concurrency().
+ * Drivers apply it through the shared bench/jobs.hh helpers
+ * (benchjobs::makeRunner / benchjobs::resolve) rather than spelling
+ * the chain themselves.
  */
 
 #ifndef MOENTWINE_SWEEP_SWEEP_RUNNER_HH

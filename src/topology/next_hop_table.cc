@@ -1,0 +1,121 @@
+#include "topology/next_hop_table.hh"
+
+#include "common/logging.hh"
+#include "topology/topology.hh"
+
+namespace moentwine {
+
+NextHopTable &
+NextHopTable::operator=(const NextHopTable &other)
+{
+    if (this == &other)
+        return *this;
+    devices_ = other.devices_;
+    nodes_ = other.nodes_;
+    nextHop_ = other.nextHop_;
+    hops_ = other.hops_;
+    latency_ = other.latency_;
+    invBwSum_ = other.invBwSum_;
+    built_.store(other.built_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+    return *this;
+}
+
+NextHopTable &
+NextHopTable::operator=(NextHopTable &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    devices_ = other.devices_;
+    nodes_ = other.nodes_;
+    nextHop_ = std::move(other.nextHop_);
+    hops_ = std::move(other.hops_);
+    latency_ = std::move(other.latency_);
+    invBwSum_ = std::move(other.invBwSum_);
+    built_.store(other.built_.load(std::memory_order_acquire),
+                 std::memory_order_release);
+    other.built_.store(false, std::memory_order_release);
+    return *this;
+}
+
+void
+NextHopTable::build(const Topology &topo)
+{
+    const int devices = topo.numDevices();
+    MOE_ASSERT(devices > 0, "next-hop table over an empty topology");
+    devices_ = devices;
+    nodes_ = topo.numNodes();
+    MOE_ASSERT(nodes_ >= devices_, "devices must be a node-id prefix");
+
+    const auto pairs = static_cast<std::size_t>(devices) *
+        static_cast<std::size_t>(devices);
+    nextHop_.assign(static_cast<std::size_t>(nodes_) *
+                        static_cast<std::size_t>(devices),
+                    -1);
+    hops_.assign(pairs, 0);
+    latency_.assign(pairs, 0.0);
+    invBwSum_.assign(pairs, 0.0);
+
+    const auto &links = topo.links();
+    std::size_t p = 0;
+    for (DeviceId src = 0; src < devices; ++src) {
+        for (DeviceId dst = 0; dst < devices; ++dst, ++p) {
+            const auto path = topo.computeRoute(src, dst);
+            // Scalars accumulate link by link in path order — the
+            // exact summation order of RouteTable::build(), so both
+            // storages answer bitwise identical doubles.
+            double lat = 0.0;
+            double invBw = 0.0;
+            for (const LinkId l : path) {
+                const Link &link = links[static_cast<std::size_t>(l)];
+                lat += link.latency;
+                invBw += 1.0 / link.bandwidth;
+                const std::size_t slot =
+                    static_cast<std::size_t>(link.src) *
+                        static_cast<std::size_t>(devices) +
+                    static_cast<std::size_t>(dst);
+                if (nextHop_[slot] == -1) {
+                    nextHop_[slot] = l;
+                } else {
+                    // Two routes crossing link.src toward dst must
+                    // leave over the same link, or the compressed
+                    // matrix cannot reproduce the arena's paths.
+                    MOE_ASSERT(nextHop_[slot] == l,
+                               "routing is not next-hop consistent");
+                }
+            }
+            hops_[p] = static_cast<int>(path.size());
+            latency_[p] = lat;
+            invBwSum_[p] = invBw;
+        }
+    }
+    // Publish the finished matrix: pairs with built() acquire loads.
+    built_.store(true, std::memory_order_release);
+}
+
+void
+NextHopTable::reset()
+{
+    built_.store(false, std::memory_order_release);
+    devices_ = 0;
+    nodes_ = 0;
+    nextHop_.clear();
+    nextHop_.shrink_to_fit();
+    hops_.clear();
+    hops_.shrink_to_fit();
+    latency_.clear();
+    latency_.shrink_to_fit();
+    invBwSum_.clear();
+    invBwSum_.shrink_to_fit();
+}
+
+std::size_t
+NextHopTable::storageBytes() const
+{
+    return nextHop_.capacity() * sizeof(LinkId) +
+        hops_.capacity() * sizeof(int) +
+        latency_.capacity() * sizeof(double) +
+        invBwSum_.capacity() * sizeof(double);
+}
+
+} // namespace moentwine

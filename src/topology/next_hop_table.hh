@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Compressed next-hop route storage and the on-the-fly path walker.
+ *
+ * The CSR route arena (RouteTable) stores every (src, dst) path
+ * explicitly, so its footprint grows O(devices² × avg hops) — beyond
+ * roughly a thousand devices the arena dominates process RSS. The
+ * NextHopTable compresses the same deterministic routing function to
+ * O(devices²): one first-hop LinkId per (node, destination) pair, plus
+ * the per-pair scalars (hop count, path latency, Σ 1/bandwidth) that
+ * keep the O(1) Topology::hops()/pathLatency()/pathInvBandwidthSum()
+ * queries alive. The few consumers that actually iterate a route's
+ * links reconstruct it on the fly with a PathWalker cursor — a
+ * handful of loads per hop, no allocation, no borrowed arena.
+ *
+ * Compression is valid because routing here is node-locally
+ * deterministic: the next link toward a destination depends only on
+ * the current node and that destination (dimension-ordered XY on the
+ * mesh, up/over/down on switch clusters). build() verifies this
+ * property while populating the matrix and fails loudly on a topology
+ * whose computeRoute() violates it.
+ *
+ * The per-pair scalars are accumulated link-by-link in exactly the
+ * order RouteTable::build() walks them, so a topology answers bitwise
+ * identical latency/bandwidth sums under either storage — a
+ * representation change, not a semantics change.
+ */
+
+#ifndef MOENTWINE_TOPOLOGY_NEXT_HOP_TABLE_HH
+#define MOENTWINE_TOPOLOGY_NEXT_HOP_TABLE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+#include "topology/graph.hh"
+
+namespace moentwine {
+
+class Topology;
+
+/**
+ * All-pairs compressed route storage: a nodes×devices first-hop matrix
+ * and devices×devices scalar tables. Route queries that need the link
+ * sequence walk firstHop() hop by hop (see PathWalker); scalar queries
+ * are one load, exactly like the CSR table.
+ */
+class NextHopTable
+{
+  public:
+    NextHopTable() = default;
+
+    // Copies/moves transfer the table data and the built flag, for the
+    // same reason RouteTable's do: topology factories return by value;
+    // concurrently used topologies are shared by pointer, never copied.
+    NextHopTable(const NextHopTable &other) { *this = other; }
+    NextHopTable(NextHopTable &&other) noexcept
+    {
+        *this = std::move(other);
+    }
+    NextHopTable &operator=(const NextHopTable &other);
+    NextHopTable &operator=(NextHopTable &&other) noexcept;
+
+    /**
+     * Precompute the first-hop matrix and per-pair scalars from
+     * topo.computeRoute(). Asserts that routing is next-hop consistent
+     * (two routes crossing a node toward the same destination leave it
+     * over the same link).
+     */
+    void build(const Topology &topo);
+
+    /**
+     * True once build() has run. An acquire load: a true result makes
+     * the matrix built by another thread visible, so worker threads
+     * share one finalized topology without per-query synchronisation.
+     */
+    bool built() const { return built_.load(std::memory_order_acquire); }
+
+    /** Drop the table (rebuilds lazily on next use). */
+    void reset();
+
+    /**
+     * First link of the deterministic route from @p node toward device
+     * @p dst; -1 when node == dst or no route crosses this pair.
+     */
+    LinkId firstHop(NodeId node, DeviceId dst) const
+    {
+        return nextHop_[static_cast<std::size_t>(node) *
+                            static_cast<std::size_t>(devices_) +
+                        static_cast<std::size_t>(dst)];
+    }
+
+    /** Hop count of the deterministic route (0 when src == dst). */
+    int hops(DeviceId src, DeviceId dst) const
+    {
+        return hops_[pairIndex(src, dst)];
+    }
+
+    /** Sum of per-link latencies along the deterministic route. */
+    double latency(DeviceId src, DeviceId dst) const
+    {
+        return latency_[pairIndex(src, dst)];
+    }
+
+    /** Σ 1/bandwidth over the deterministic route's links. */
+    double invBandwidthSum(DeviceId src, DeviceId dst) const
+    {
+        return invBwSum_[pairIndex(src, dst)];
+    }
+
+    /** Compute devices covered by the scalar tables. */
+    int numDevices() const { return devices_; }
+
+    /** Heap footprint of the built table (route-storage bytes). */
+    std::size_t storageBytes() const;
+
+  private:
+    std::size_t pairIndex(DeviceId src, DeviceId dst) const
+    {
+        return static_cast<std::size_t>(src) *
+                   static_cast<std::size_t>(devices_) +
+               static_cast<std::size_t>(dst);
+    }
+
+    int devices_ = 0;
+    int nodes_ = 0;
+    // Release-published by build(); see built().
+    std::atomic<bool> built_{false};
+    std::vector<LinkId> nextHop_; // nodes × devices first hops
+    std::vector<int> hops_;       // devices × devices
+    std::vector<double> latency_; // devices × devices
+    std::vector<double> invBwSum_; // devices × devices
+};
+
+/**
+ * Forward cursor over one deterministic route, uniform across the two
+ * route storages: over the CSR arena it iterates the borrowed view;
+ * over the next-hop table it follows firstHop() links until the
+ * destination. Construction and iteration never allocate, which is
+ * what keeps PhaseTraffic::addFlow() allocation-free under either
+ * storage. Obtain one from Topology::walk().
+ */
+class PathWalker
+{
+  public:
+    /** Walk a contiguous precomputed path (CSR arena or scratch). */
+    explicit PathWalker(PathView view)
+        : cur_(view.begin()), end_(view.end())
+    {
+    }
+
+    /** Walk the next-hop matrix from @p src toward @p dst. */
+    PathWalker(const NextHopTable &table, const Link *links, DeviceId src,
+               DeviceId dst)
+        : table_(&table), links_(links), node_(src), dst_(dst)
+    {
+    }
+
+    /** Advance one hop into @p out; false when the walk is finished. */
+    bool next(LinkId &out)
+    {
+        if (table_ == nullptr) {
+            if (cur_ == end_)
+                return false;
+            out = *cur_++;
+            return true;
+        }
+        if (node_ == dst_)
+            return false;
+        const LinkId l = table_->firstHop(node_, dst_);
+        // -1 is the matrix fill value: no route ever crossed this
+        // (node, dst) pair. Unreachable on connected topologies, but
+        // fail loudly instead of indexing links_ with it.
+        MOE_ASSERT(l >= 0, "no next hop toward the walked destination");
+        node_ = links_[static_cast<std::size_t>(l)].dst;
+        out = l;
+        return true;
+    }
+
+    /** Sentinel for range-for support. */
+    struct End
+    {
+    };
+
+    /** Single-pass input iterator driving next(). */
+    class Iterator
+    {
+      public:
+        explicit Iterator(PathWalker &walker) : walker_(&walker)
+        {
+            live_ = walker_->next(link_);
+        }
+
+        LinkId operator*() const { return link_; }
+
+        Iterator &operator++()
+        {
+            live_ = walker_->next(link_);
+            return *this;
+        }
+
+        bool operator!=(End) const { return live_; }
+
+      private:
+        PathWalker *walker_;
+        LinkId link_ = -1;
+        bool live_ = false;
+    };
+
+    Iterator begin() { return Iterator(*this); }
+    End end() const { return End{}; }
+
+  private:
+    // Next-hop mode state (table_ non-null).
+    const NextHopTable *table_ = nullptr;
+    const Link *links_ = nullptr;
+    NodeId node_ = 0;
+    DeviceId dst_ = 0;
+    // Contiguous-view mode state (table_ null).
+    const LinkId *cur_ = nullptr;
+    const LinkId *end_ = nullptr;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_TOPOLOGY_NEXT_HOP_TABLE_HH

@@ -87,10 +87,19 @@ RouteTable::build(const Topology &topo)
     built_.store(true, std::memory_order_release);
 }
 
-void
-RouteTable::disableCache()
+std::size_t
+RouteTable::storageBytes() const
 {
-    disabled_ = true;
+    return offsets_.capacity() * sizeof(std::size_t) +
+        paths_.capacity() * sizeof(LinkId) +
+        latency_.capacity() * sizeof(double) +
+        minBw_.capacity() * sizeof(double) +
+        invBwSum_.capacity() * sizeof(double);
+}
+
+void
+RouteTable::reset()
+{
     built_.store(false, std::memory_order_release);
     devices_ = 0;
     offsets_.clear();
@@ -103,6 +112,13 @@ RouteTable::disableCache()
     minBw_.shrink_to_fit();
     invBwSum_.clear();
     invBwSum_.shrink_to_fit();
+}
+
+void
+RouteTable::disableCache()
+{
+    disabled_ = true;
+    reset();
 }
 
 } // namespace moentwine

@@ -11,11 +11,24 @@
  * per-link traffic volumes reproducibly.
  *
  * Because routes are deterministic and topologies immutable after
- * construction, all-pairs routes are computed once into a RouteTable (a
- * flat CSR-style arena) and every subsequent route(), hops(),
- * pathLatency() and pathBandwidth() query is a non-allocating table
- * lookup. Concrete topologies implement computeRoute(); consumers use
- * the cached route() which returns a borrowed PathView into the arena.
+ * construction, all-pairs routing is precomputed once into one of two
+ * interchangeable storages selected by a RouteStorage policy:
+ *
+ *  - RouteTable (CSR arena): every path stored explicitly, O(devices² ×
+ *    avg hops) memory; route() returns a stable borrowed PathView.
+ *  - NextHopTable (compressed): one first-hop link per (node, dst),
+ *    O(devices²) memory; link sequences are reconstructed on the fly
+ *    by a PathWalker cursor (see Topology::walk()).
+ *
+ * Both storages precompute the per-pair scalars, so hops(),
+ * pathLatency(), pathBandwidth() and pathInvBandwidthSum() are O(1)
+ * non-allocating lookups either way, and both answer bitwise identical
+ * values. The policy defaults to Auto: CSR below
+ * kNextHopAutoThreshold devices (compact, stable views), compressed at
+ * or above it (kilodevice meshes and switch clusters whose arena would
+ * dominate RSS). Consumers that iterate links should prefer walk();
+ * route() stays PathView-compatible but materialises into a per-
+ * topology scratch under the compressed storage.
  */
 
 #ifndef MOENTWINE_TOPOLOGY_TOPOLOGY_HH
@@ -29,61 +42,10 @@
 #include <utility>
 #include <vector>
 
+#include "topology/graph.hh"
+#include "topology/next_hop_table.hh"
+
 namespace moentwine {
-
-/** Identifier of a compute device or internal switch node. */
-using NodeId = int;
-/** Identifier of a compute device (subset of NodeId space). */
-using DeviceId = int;
-/** Index into Topology::links(). */
-using LinkId = int;
-
-/**
- * One unidirectional link. Bandwidth is bytes/second for this direction;
- * latency is the per-traversal link latency of Eq.(1) in the paper.
- */
-struct Link
-{
-    NodeId src;
-    NodeId dst;
-    double bandwidth;
-    double latency;
-};
-
-/**
- * Non-owning view of a deterministic route: a contiguous LinkId range
- * borrowed from the owning topology's route arena (or, with the route
- * cache disabled, from a per-topology scratch buffer that the next
- * route() call overwrites). Valid while the topology is alive and, on
- * the uncached path, only until the next route() call.
- */
-class PathView
-{
-  public:
-    using value_type = LinkId;
-    using const_iterator = const LinkId *;
-
-    PathView() = default;
-
-    PathView(const LinkId *data, std::size_t size)
-        : data_(data), size_(size)
-    {
-    }
-
-    const_iterator begin() const { return data_; }
-    const_iterator end() const { return data_ + size_; }
-
-    std::size_t size() const { return size_; }
-    bool empty() const { return size_ == 0; }
-
-    LinkId operator[](std::size_t i) const { return data_[i]; }
-    LinkId front() const { return data_[0]; }
-    LinkId back() const { return data_[size_ - 1]; }
-
-  private:
-    const LinkId *data_ = nullptr;
-    std::size_t size_ = 0;
-};
 
 class Topology;
 
@@ -137,6 +99,9 @@ class RouteTable
     /** True while the test hook holds the cache off. */
     bool disabled() const { return disabled_; }
 
+    /** Drop the table so the storage policy can switch (rebuilds lazily). */
+    void reset();
+
     /** Cached route; empty when src == dst. */
     PathView path(DeviceId src, DeviceId dst) const
     {
@@ -170,6 +135,9 @@ class RouteTable
         return invBwSum_[pairIndex(src, dst)];
     }
 
+    /** Heap footprint of the built arena (route-storage bytes). */
+    std::size_t storageBytes() const;
+
   private:
     std::size_t pairIndex(DeviceId src, DeviceId dst) const
     {
@@ -191,39 +159,72 @@ class RouteTable
 };
 
 /**
+ * Which all-pairs route storage a topology builds. Both storages
+ * answer every route query with bitwise identical results; they trade
+ * arena memory (CSR) against per-walk pointer chasing (NextHop).
+ */
+enum class RouteStorageKind
+{
+    /** CSR below Topology::kNextHopAutoThreshold devices, else NextHop. */
+    Auto,
+    /** Explicit per-path arena (RouteTable). */
+    CsrArena,
+    /** Compressed first-hop matrix (NextHopTable). */
+    NextHop,
+};
+
+/**
  * Base class for all network topologies.
  *
- * Route queries are served from a lazily built RouteTable. The lazy
- * build is guarded (double-checked mutex + release-published flag), so
- * a fully constructed topology is safe to share across threads through
- * `const` references — including concurrent first use. Call
- * finalizeRoutes() to pay the build cost eagerly (System::make does)
- * so worker threads never contend on the guard.
+ * Route queries are served from a lazily built route storage (CSR
+ * arena or next-hop matrix, see RouteStorageKind). The lazy build is
+ * guarded (double-checked mutex + release-published flag), so a fully
+ * constructed topology is safe to share across threads through `const`
+ * references — including concurrent first use. One exception: route()
+ * materialises into an unguarded per-topology scratch when the
+ * next-hop storage is active (or the cache is disabled); concurrent
+ * consumers must use walk() or the scalar queries, which is what all
+ * of src/ does. Call finalizeRoutes() to pay the build cost eagerly
+ * (System::make does) so worker threads never contend on the guard.
  *
- * The disableRouteCache()/enableRouteCache() test hooks mutate cache
- * state and are NOT thread-safe; they exist for single-threaded
- * baseline benchmarking only.
+ * The disableRouteCache()/enableRouteCache() and setRouteStorage()
+ * hooks mutate cache state and are NOT thread-safe; they exist for
+ * single-threaded configuration and benchmarking only.
  */
 class Topology
 {
   public:
     virtual ~Topology() = default;
 
-    // Copy/move keep links, adjacency, and any built route table, and
-    // start with a fresh (unheld) build mutex. They exist so concrete
-    // factories can return by value; topologies in active concurrent
-    // use are shared by const pointer/reference, never copied.
+    /**
+     * Auto-policy cutover: systems at or above this many devices build
+     * the compressed next-hop matrix instead of the CSR arena. Below
+     * it the arena is small (a few MB) and keeps route() views stable;
+     * above it the arena's O(devices² × avg hops) growth dominates
+     * RSS, which is what blocked kilodevice systems.
+     */
+    static constexpr int kNextHopAutoThreshold = 512;
+
+    // Copy/move keep links, adjacency, the storage policy, and any
+    // built route tables, and start with a fresh (unheld) build mutex.
+    // They exist so concrete factories can return by value; topologies
+    // in active concurrent use are shared by const pointer/reference,
+    // never copied.
     Topology(const Topology &other)
         : links_(other.links_),
           outIndex_(other.outIndex_),
-          routes_(other.routes_)
+          storageKind_(other.storageKind_),
+          routes_(other.routes_),
+          nextHops_(other.nextHops_)
     {
     }
 
     Topology(Topology &&other) noexcept
         : links_(std::move(other.links_)),
           outIndex_(std::move(other.outIndex_)),
-          routes_(std::move(other.routes_))
+          storageKind_(other.storageKind_),
+          routes_(std::move(other.routes_)),
+          nextHops_(std::move(other.nextHops_))
     {
     }
 
@@ -231,7 +232,9 @@ class Topology
     {
         links_ = other.links_;
         outIndex_ = other.outIndex_;
+        storageKind_ = other.storageKind_;
         routes_ = other.routes_;
+        nextHops_ = other.nextHops_;
         uncachedScratch_.clear();
         return *this;
     }
@@ -240,7 +243,9 @@ class Topology
     {
         links_ = std::move(other.links_);
         outIndex_ = std::move(other.outIndex_);
+        storageKind_ = other.storageKind_;
         routes_ = std::move(other.routes_);
+        nextHops_ = std::move(other.nextHops_);
         uncachedScratch_.clear();
         return *this;
     }
@@ -256,18 +261,32 @@ class Topology
 
     /**
      * Deterministic route between two compute devices, freshly derived
-     * (allocates). Consumers should prefer the cached route().
+     * (allocates). Consumers should prefer walk() or the cached route().
      * @return Link indices in traversal order; empty when src == dst.
      */
     virtual std::vector<LinkId> computeRoute(DeviceId src,
                                              DeviceId dst) const = 0;
 
     /**
-     * Deterministic route between two compute devices, answered from
-     * the all-pairs cache without allocating.
+     * Deterministic route between two compute devices as a contiguous
+     * view. Under the CSR storage the view borrows the arena and stays
+     * valid for the topology's lifetime; under the next-hop storage
+     * (or with the cache disabled) it is materialised into a per-
+     * topology scratch that the next route() call on this topology
+     * overwrites — single-threaded use only in those modes. Link-
+     * iterating hot paths should use walk() instead, which never
+     * materialises.
      * @return Borrowed link-id view; empty when src == dst.
      */
     PathView route(DeviceId src, DeviceId dst) const;
+
+    /**
+     * Allocation-free cursor over the deterministic route, uniform
+     * across both route storages (and the disabled-cache mode, where
+     * it walks the scratch route() just derived). Safe to use
+     * concurrently from many threads on a finalized topology.
+     */
+    PathWalker walk(DeviceId src, DeviceId dst) const;
 
     /** Hop count of the deterministic route (0 when src == dst). */
     int hops(DeviceId src, DeviceId dst) const;
@@ -293,8 +312,41 @@ class Topology
      */
     LinkId linkBetween(NodeId src, NodeId dst) const;
 
-    /** The all-pairs route cache (built on first use). */
+    /** The CSR route cache (built on first use; CSR storage only). */
     const RouteTable &routeTable() const;
+
+    /** The compressed route storage (next-hop storage only). */
+    const NextHopTable &nextHopTable() const;
+
+    /**
+     * Select the all-pairs route storage. A configuration hook, NOT
+     * thread-safe: call before the topology is shared (System::make
+     * applies SystemConfig::routeStorage here). Any previously built
+     * storage is dropped and rebuilt lazily under the new policy.
+     */
+    void setRouteStorage(RouteStorageKind kind);
+
+    /** The configured storage policy (Auto until overridden). */
+    RouteStorageKind routeStorage() const { return storageKind_; }
+
+    /** The policy Auto resolves to for this topology's size. */
+    RouteStorageKind activeRouteStorage() const
+    {
+        if (storageKind_ != RouteStorageKind::Auto)
+            return storageKind_;
+        return numDevices() >= kNextHopAutoThreshold
+            ? RouteStorageKind::NextHop
+            : RouteStorageKind::CsrArena;
+    }
+
+    /** True once the compressed next-hop storage is built and serving. */
+    bool usingNextHopRoutes() const { return nextHops_.built(); }
+
+    /**
+     * Heap bytes of the built route storage (whichever representation
+     * is active; builds it first). The number perf_routing records.
+     */
+    std::size_t routeStorageBytes() const;
 
     /**
      * Test hook: route every query through computeRoute() instead of
@@ -302,13 +354,13 @@ class Topology
      * backed PathView returned by route() in this mode is invalidated
      * by the next route() call on this topology.
      */
-    void disableRouteCache() { routes_.disableCache(); }
+    void disableRouteCache();
 
-    /** Undo disableRouteCache(); the table rebuilds on next query. */
+    /** Undo disableRouteCache(); the storage rebuilds on next query. */
     void enableRouteCache() { routes_.enableCache(); }
 
     /**
-     * Eagerly build the all-pairs route cache (no-op when it is
+     * Eagerly build the all-pairs route storage (no-op when it is
      * already built or disabled). Invoked at topology finalization by
      * System::make so a System can be shared as shared_ptr<const>
      * across sweep worker threads with no lazy state left to race on.
@@ -324,19 +376,24 @@ class Topology
     std::vector<Link> links_;
 
   private:
-    /** Build the route table if it is absent and caching is enabled. */
+    /** Build the active route storage if absent and caching is enabled. */
     void ensureRoutes() const;
 
     // Per-source dst → link-id adjacency index (O(1) linkBetween).
     std::vector<std::unordered_map<NodeId, LinkId>> outIndex_;
 
-    // Lazily built all-pairs cache; mutable so const queries can build.
+    // Storage policy; resolved by activeRouteStorage() at build time.
+    RouteStorageKind storageKind_ = RouteStorageKind::Auto;
+
+    // Lazily built all-pairs storages (at most one is ever built);
+    // mutable so const queries can build.
     mutable RouteTable routes_;
+    mutable NextHopTable nextHops_;
     // Serialises the lazy build when several threads race on first use.
     mutable std::mutex routeBuildMutex_;
-    // Backing storage for route() views while the cache is disabled.
-    // Deliberately unguarded: the disabled mode is a single-threaded
-    // benchmarking hook.
+    // Backing storage for route() views while the cache is disabled or
+    // the next-hop storage is active. Deliberately unguarded: those
+    // route() modes are single-threaded (tests and benchmarking).
     mutable std::vector<LinkId> uncachedScratch_;
 };
 

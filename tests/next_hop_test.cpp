@@ -1,0 +1,331 @@
+/**
+ * @file
+ * Equivalence tests for the compressed next-hop route storage:
+ *  - property: PathWalker walks under the next-hop table reconstruct
+ *    the CSR-arena routes link by link on mesh and switch-cluster
+ *    topologies, and the per-pair scalars are bitwise identical;
+ *  - regression: one fig-style cell (comm eval + engine run) produces
+ *    bitwise identical numbers under both storages;
+ *  - policy: Auto selects the arena below the device threshold and the
+ *    compressed matrix at or above it;
+ *  - footprint: the compressed storage is strictly smaller and the
+ *    addFlow hot path stays allocation-free under it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "core/moentwine.hh"
+
+// Counting global allocator: lets the walk/addFlow tests assert the
+// compressed hot path performs zero heap allocation. Atomic because
+// the concurrency test's worker threads allocate (computeRoute).
+namespace {
+std::atomic<std::size_t> g_allocCount{0};
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    ++g_allocCount;
+    if (void *p = std::malloc(size ? size : 1))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return ::operator new(size);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+using namespace moentwine;
+
+namespace {
+
+/**
+ * Assert that @p nh (forced next-hop storage) reproduces @p csr
+ * (forced CSR storage) exactly: link-by-link walks and bitwise-equal
+ * per-pair scalars for every device pair.
+ */
+void
+expectStoragesEquivalent(const Topology &csr, const Topology &nh)
+{
+    ASSERT_EQ(csr.numDevices(), nh.numDevices());
+    nh.finalizeRoutes();
+    ASSERT_TRUE(nh.usingNextHopRoutes());
+    csr.finalizeRoutes();
+    ASSERT_FALSE(csr.usingNextHopRoutes());
+    const int devices = csr.numDevices();
+    for (DeviceId s = 0; s < devices; ++s) {
+        for (DeviceId d = 0; d < devices; ++d) {
+            const PathView arena = csr.route(s, d);
+            std::size_t i = 0;
+            for (const LinkId l : nh.walk(s, d)) {
+                ASSERT_LT(i, arena.size()) << "pair " << s << "->" << d;
+                EXPECT_EQ(l, arena[i]) << "pair " << s << "->" << d
+                                       << " hop " << i;
+                ++i;
+            }
+            EXPECT_EQ(i, arena.size()) << "pair " << s << "->" << d;
+
+            EXPECT_EQ(nh.hops(s, d), csr.hops(s, d));
+            // Bitwise equality, not EXPECT_DOUBLE_EQ: both storages
+            // accumulate the scalars in computeRoute() link order, so
+            // the doubles must be identical, which is what makes the
+            // representations interchangeable mid-figure.
+            EXPECT_EQ(nh.pathLatency(s, d), csr.pathLatency(s, d));
+            EXPECT_EQ(nh.pathInvBandwidthSum(s, d),
+                      csr.pathInvBandwidthSum(s, d));
+            if (s != d) {
+                EXPECT_EQ(nh.pathBandwidth(s, d), csr.pathBandwidth(s, d));
+            }
+        }
+    }
+}
+
+} // namespace
+
+TEST(NextHop, MeshWalksReconstructCsrRoutes)
+{
+    MeshTopology csr = MeshTopology::waferRow(2, 4);
+    csr.setRouteStorage(RouteStorageKind::CsrArena);
+    MeshTopology nh = MeshTopology::waferRow(2, 4);
+    nh.setRouteStorage(RouteStorageKind::NextHop);
+    expectStoragesEquivalent(csr, nh);
+}
+
+TEST(NextHop, SingleWaferMeshWalksReconstructCsrRoutes)
+{
+    MeshTopology csr = MeshTopology::singleWafer(5);
+    csr.setRouteStorage(RouteStorageKind::CsrArena);
+    MeshTopology nh = MeshTopology::singleWafer(5);
+    nh.setRouteStorage(RouteStorageKind::NextHop);
+    expectStoragesEquivalent(csr, nh);
+}
+
+TEST(NextHop, SwitchClusterWalksReconstructCsrRoutes)
+{
+    SwitchClusterTopology csr = SwitchClusterTopology::dgx(3);
+    csr.setRouteStorage(RouteStorageKind::CsrArena);
+    SwitchClusterTopology nh = SwitchClusterTopology::dgx(3);
+    nh.setRouteStorage(RouteStorageKind::NextHop);
+    expectStoragesEquivalent(csr, nh);
+}
+
+TEST(NextHop, WalksMatchFreshComputeRoute)
+{
+    // The walker against first principles (not just against the CSR
+    // arena): next-hop walks must equal freshly derived XY routes.
+    MeshTopology mesh = MeshTopology::waferRow(2, 4);
+    mesh.setRouteStorage(RouteStorageKind::NextHop);
+    for (DeviceId s = 0; s < mesh.numDevices(); ++s) {
+        for (DeviceId d = 0; d < mesh.numDevices(); ++d) {
+            const auto fresh = mesh.computeRoute(s, d);
+            std::size_t i = 0;
+            for (const LinkId l : mesh.walk(s, d)) {
+                ASSERT_LT(i, fresh.size());
+                EXPECT_EQ(l, fresh[i]);
+                ++i;
+            }
+            EXPECT_EQ(i, fresh.size());
+        }
+    }
+}
+
+TEST(NextHop, RouteMaterialisesIdenticalPaths)
+{
+    // route() stays PathView-compatible under the compressed storage
+    // (scratch-backed, overwritten by the next call).
+    MeshTopology mesh = MeshTopology::singleWafer(4);
+    mesh.setRouteStorage(RouteStorageKind::NextHop);
+    for (DeviceId s = 0; s < mesh.numDevices(); ++s) {
+        for (DeviceId d = 0; d < mesh.numDevices(); ++d) {
+            const auto fresh = mesh.computeRoute(s, d);
+            const PathView view = mesh.route(s, d);
+            ASSERT_EQ(view.size(), fresh.size());
+            for (std::size_t i = 0; i < fresh.size(); ++i)
+                EXPECT_EQ(view[i], fresh[i]);
+        }
+    }
+}
+
+TEST(NextHop, FigCellBitwiseEquivalentAcrossStorages)
+{
+    // One fig13d-style cell evaluated under both storages must produce
+    // bitwise identical communication times.
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscHer;
+    sc.meshN = 4;
+    sc.wafers = 2;
+    sc.tp = 4;
+
+    sc.routeStorage = RouteStorageKind::CsrArena;
+    const System csrSys = System::make(sc);
+    sc.routeStorage = RouteStorageKind::NextHop;
+    const System nhSys = System::make(sc);
+    EXPECT_FALSE(csrSys.topology().usingNextHopRoutes());
+    EXPECT_TRUE(nhSys.topology().usingNextHopRoutes());
+
+    const auto a = evaluateCommunication(csrSys.mapping(), qwen3(), 256,
+                                         true);
+    const auto b = evaluateCommunication(nhSys.mapping(), qwen3(), 256,
+                                         true);
+    EXPECT_EQ(a.allReduce, b.allReduce);
+    EXPECT_EQ(a.dispatch, b.dispatch);
+    EXPECT_EQ(a.combine, b.combine);
+}
+
+TEST(NextHop, EngineRunBitwiseEquivalentAcrossStorages)
+{
+    SystemConfig sc;
+    sc.platform = PlatformKind::WscEr;
+    sc.meshN = 4;
+    sc.tp = 4;
+
+    EngineConfig ec;
+    ec.model = qwen3();
+    ec.schedule = SchedulingMode::DecodeOnly;
+    ec.decodeTokensPerGroup = 64;
+    ec.workload.mode = GatingMode::MixedScenario;
+    ec.balancer = BalancerKind::TopologyAware;
+    ec.beta = 3;
+
+    sc.routeStorage = RouteStorageKind::CsrArena;
+    const System csrSys = System::make(sc);
+    sc.routeStorage = RouteStorageKind::NextHop;
+    const System nhSys = System::make(sc);
+
+    InferenceEngine csrEngine(csrSys.mapping(), ec);
+    InferenceEngine nhEngine(nhSys.mapping(), ec);
+    const auto csrStats = csrEngine.run(12);
+    const auto nhStats = nhEngine.run(12);
+    ASSERT_EQ(csrStats.size(), nhStats.size());
+    for (std::size_t i = 0; i < csrStats.size(); ++i) {
+        EXPECT_EQ(csrStats[i].layerTime(ec.pipelineStages),
+                  nhStats[i].layerTime(ec.pipelineStages))
+            << "iteration " << i;
+        EXPECT_EQ(csrStats[i].allReduce, nhStats[i].allReduce);
+        EXPECT_EQ(csrStats[i].dispatch, nhStats[i].dispatch);
+        EXPECT_EQ(csrStats[i].combine, nhStats[i].combine);
+    }
+}
+
+TEST(NextHop, AutoPolicySelectsByDeviceCount)
+{
+    // Below the threshold Auto keeps the CSR arena.
+    SwitchClusterTopology small = SwitchClusterTopology::dgx(4);
+    EXPECT_EQ(small.activeRouteStorage(), RouteStorageKind::CsrArena);
+    small.finalizeRoutes();
+    EXPECT_FALSE(small.usingNextHopRoutes());
+
+    // At/above the threshold (64 nodes × 8 = 512 devices) Auto builds
+    // the compressed matrix; switch routes stay cheap to verify.
+    SwitchClusterTopology big = SwitchClusterTopology::dgx(64);
+    ASSERT_GE(big.numDevices(), Topology::kNextHopAutoThreshold);
+    EXPECT_EQ(big.activeRouteStorage(), RouteStorageKind::NextHop);
+    big.finalizeRoutes();
+    EXPECT_TRUE(big.usingNextHopRoutes());
+    // Spot-check walks on the auto-selected storage.
+    for (DeviceId s = 0; s < big.numDevices(); s += 37) {
+        for (DeviceId d = 0; d < big.numDevices(); d += 41) {
+            const auto fresh = big.computeRoute(s, d);
+            std::size_t i = 0;
+            for (const LinkId l : big.walk(s, d)) {
+                ASSERT_LT(i, fresh.size());
+                EXPECT_EQ(l, fresh[i]);
+                ++i;
+            }
+            EXPECT_EQ(i, fresh.size());
+        }
+    }
+}
+
+TEST(NextHop, CompressedStorageIsSmaller)
+{
+    MeshTopology mesh = MeshTopology::waferRow(2, 8);
+    mesh.setRouteStorage(RouteStorageKind::CsrArena);
+    const std::size_t csrBytes = mesh.routeStorageBytes();
+    mesh.setRouteStorage(RouteStorageKind::NextHop);
+    const std::size_t nhBytes = mesh.routeStorageBytes();
+    EXPECT_LT(nhBytes, csrBytes);
+}
+
+TEST(NextHop, AddFlowIsAllocationFreeUnderNextHopStorage)
+{
+    MeshTopology mesh = MeshTopology::waferRow(2, 4);
+    mesh.setRouteStorage(RouteStorageKind::NextHop);
+    PhaseTraffic traffic(mesh);
+    // Warm up: the first flow builds the next-hop matrix.
+    traffic.addFlow(0, mesh.numDevices() - 1, 64.0);
+
+    const std::size_t before = g_allocCount.load();
+    for (DeviceId s = 0; s < mesh.numDevices(); ++s)
+        for (DeviceId d = 0; d < mesh.numDevices(); ++d)
+            traffic.addFlow(s, d, 128.0);
+    EXPECT_EQ(g_allocCount.load(), before)
+        << "next-hop addFlow must not allocate";
+}
+
+TEST(NextHop, ConcurrentWalksOnSharedTopologyAgree)
+{
+    // Worker threads share one finalized next-hop topology (the sweep
+    // contract); concurrent walks must all reconstruct the XY routes.
+    MeshTopology mesh = MeshTopology::waferRow(2, 4);
+    mesh.setRouteStorage(RouteStorageKind::NextHop);
+    mesh.finalizeRoutes();
+    const Topology &shared = mesh;
+
+    std::vector<std::thread> workers;
+    std::vector<int> mismatches(4, 0);
+    for (int w = 0; w < 4; ++w) {
+        workers.emplace_back([&shared, &mismatches, w]() {
+            for (DeviceId s = 0; s < shared.numDevices(); ++s) {
+                for (DeviceId d = 0; d < shared.numDevices(); ++d) {
+                    const auto fresh = shared.computeRoute(s, d);
+                    std::size_t i = 0;
+                    for (const LinkId l : shared.walk(s, d)) {
+                        if (i >= fresh.size() || l != fresh[i])
+                            ++mismatches[static_cast<std::size_t>(w)];
+                        ++i;
+                    }
+                    if (i != fresh.size())
+                        ++mismatches[static_cast<std::size_t>(w)];
+                }
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    for (const int m : mismatches)
+        EXPECT_EQ(m, 0);
+}
