@@ -147,6 +147,70 @@ ExpertPlacement::resetToNative()
 }
 
 bool
+ExpertPlacement::deviceLost(DeviceId d) const
+{
+    MOE_ASSERT(d >= 0 && d < numDevices_, "deviceLost: bad device");
+    return !lost_.empty() && lost_[static_cast<std::size_t>(d)] != 0;
+}
+
+std::vector<ExpertRehoming>
+ExpertPlacement::markDeviceLost(DeviceId d)
+{
+    MOE_ASSERT(d >= 0 && d < numDevices_, "markDeviceLost: bad device");
+    if (deviceLost(d))
+        return {};
+    if (lost_.empty())
+        lost_.assign(static_cast<std::size_t>(numDevices_), 0);
+    lost_[static_cast<std::size_t>(d)] = 1;
+
+    // Drop every replica the dead device held; natives re-home below.
+    for (const int e : byDevice_[static_cast<std::size_t>(d)]) {
+        auto &devices = byExpert_[static_cast<std::size_t>(e)];
+        devices.erase(std::find(devices.begin(), devices.end(), d));
+    }
+    byDevice_[static_cast<std::size_t>(d)].clear();
+    capacity_[static_cast<std::size_t>(d)] = 0;
+
+    std::vector<ExpertRehoming> rehomed;
+    auto &natives = nativeByDevice_[static_cast<std::size_t>(d)];
+    for (const int e : natives) {
+        // Deterministic new native host: fewest hosted experts among
+        // live non-holders, ties to the lowest device id.
+        DeviceId target = -1;
+        for (DeviceId c = 0; c < numDevices_; ++c) {
+            if (lost_[static_cast<std::size_t>(c)] || hosts(c, e))
+                continue;
+            if (target < 0 ||
+                byDevice_[static_cast<std::size_t>(c)].size() <
+                    byDevice_[static_cast<std::size_t>(target)].size()) {
+                target = c;
+            }
+        }
+        if (target >= 0) {
+            byDevice_[static_cast<std::size_t>(target)].push_back(e);
+            byExpert_[static_cast<std::size_t>(e)].push_back(target);
+        } else {
+            // Every live device already replicates e: promote the
+            // lowest-id live holder to native instead of duplicating.
+            const auto &holders = byExpert_[static_cast<std::size_t>(e)];
+            MOE_ASSERT(!holders.empty(),
+                       "expert lost its last replica with the device");
+            target = *std::min_element(holders.begin(), holders.end());
+        }
+        // Native assignments sit outside the shadow budget: grow the
+        // target's capacity so its freeSlots() is unchanged (and
+        // resetToNative() keeps balancer headroom intact).
+        nativeByDevice_[static_cast<std::size_t>(target)].push_back(e);
+        capacity_[static_cast<std::size_t>(target)] += 1;
+        rehomed.push_back(ExpertRehoming{e, d, target});
+    }
+    natives.clear();
+    if (tracksLoads())
+        rebuildHeats();
+    return rehomed;
+}
+
+bool
 ExpertPlacement::isNative(DeviceId d, int expert) const
 {
     MOE_ASSERT(d >= 0 && d < numDevices_, "isNative: bad device");

@@ -18,6 +18,16 @@
 
 namespace moentwine {
 
+/** One native re-assignment produced by ExpertPlacement::markDeviceLost. */
+struct ExpertRehoming
+{
+    int expert;
+    /** The lost device that natively hosted the expert. */
+    DeviceId from;
+    /** The live device now natively hosting it. */
+    DeviceId to;
+};
+
 /**
  * Mutable expert→device replica assignment with shadow-slot capacity.
  */
@@ -78,6 +88,26 @@ class ExpertPlacement
     bool isNative(DeviceId d, int expert) const;
 
     /**
+     * Take a device out of service permanently (fault layer). Every
+     * replica on it is dropped, its shadow capacity goes to zero (so
+     * freeSlots() keeps balancers away), and each of its native
+     * experts is re-homed deterministically: the new native host is
+     * the live device hosting the fewest experts (ties to the lowest
+     * id) that does not already hold a replica — or, when every live
+     * device holds one, the lowest-id live replica is promoted to
+     * native. The adjusted assignment IS the native placement from now
+     * on: resetToNative() never resurrects a lost device. Idempotent.
+     *
+     * @return The native re-assignments, in expert order (empty on a
+     *         repeat call). The engine charges recovery traffic for
+     *         these.
+     */
+    std::vector<ExpertRehoming> markDeviceLost(DeviceId d);
+
+    /** True once markDeviceLost(d) has run. */
+    bool deviceLost(DeviceId d) const;
+
+    /**
      * Device heats given per-expert loads: Heat_d = Σ Load_e / Num_e
      * over experts hosted by d. Recomputed from scratch in
      * O(devices × experts); hot callers should attach loads with
@@ -132,6 +162,8 @@ class ExpertPlacement
     std::vector<std::vector<DeviceId>> byExpert_;
     std::vector<int> capacity_;
     std::vector<std::vector<int>> nativeByDevice_;
+    // Devices retired by markDeviceLost(); empty until faults strike.
+    std::vector<char> lost_;
     // Attached per-expert loads and the incrementally maintained
     // per-device heats; both empty while no loads are attached.
     std::vector<double> trackedLoads_;

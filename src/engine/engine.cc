@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "engine/token_router.hh"
+#include "fault/fault_injector.hh"
 #include "network/collectives.hh"
 
 namespace moentwine {
@@ -72,6 +73,94 @@ InferenceEngine::InferenceEngine(const Mapping &mapping,
     }
 }
 
+void
+InferenceEngine::attachFaults(FaultInjector *injector)
+{
+    MOE_ASSERT(iteration_ == 0, "attachFaults after the first step");
+    if (injector == nullptr || injector->empty()) {
+        faults_ = nullptr;
+        return;
+    }
+    MOE_ASSERT(!cfg_.esp, "fault injection is unsupported under ESP");
+    MOE_ASSERT(&injector->baseTopology() == &mapping_.topology(),
+               "fault injector must shadow the engine's topology");
+    faults_ = injector;
+}
+
+const Topology &
+InferenceEngine::activeTopology() const
+{
+    return faults_ != nullptr ? faults_->topology() : mapping_.topology();
+}
+
+void
+InferenceEngine::syncFaults(IterationStats &stats)
+{
+    stats.faultEventsApplied = faults_->advanceTo(iteration_);
+    if (faults_->topologyEpoch() != faultTopoEpochSeen_) {
+        // Link state changed: re-point every traffic accumulator at
+        // the overlay (same link ids, so buffers survive). Safe at the
+        // boundary — all are refilled from scratch each iteration.
+        faultTopoEpochSeen_ = faults_->topologyEpoch();
+        const Topology &topo = faults_->topology();
+        a2aTraffic_.retarget(topo);
+        dispTraffic_.retarget(topo);
+        combTraffic_.retarget(topo);
+        arScratch_.retarget(topo);
+        espScratch_.retarget(topo);
+    }
+    const auto &lost = faults_->lostDevices();
+    while (faultLostSeen_ < lost.size()) {
+        const auto rehomed =
+            placement_.markDeviceLost(lost[faultLostSeen_++]);
+        stats.faultRecoveryTime += recoveryTime(rehomed);
+    }
+}
+
+double
+InferenceEngine::recoveryTime(
+    const std::vector<ExpertRehoming> &rehomed) const
+{
+    if (rehomed.empty())
+        return 0.0;
+    const Topology &topo = activeTopology();
+    // Rare event: a fresh PhaseTraffic here is fine. Transfers run
+    // concurrently like invasive migration — Eq.(1) per flow plus
+    // shared-link serialisation.
+    PhaseTraffic recovery(topo);
+    double slowest = 0.0;
+    for (const ExpertRehoming &r : rehomed) {
+        // Nearest reachable surviving replica supplies the weights;
+        // lowest device id breaks hop-count ties.
+        DeviceId src = -1;
+        int bestHops = 0;
+        for (const DeviceId c : placement_.replicasOf(r.expert)) {
+            if (c == r.to || placement_.deviceLost(c) ||
+                !faults_->reachable(c, r.to)) {
+                continue;
+            }
+            const int h = topo.hops(c, r.to);
+            if (src < 0 || h < bestHops ||
+                (h == bestHops && c < src)) {
+                src = c;
+                bestHops = h;
+            }
+        }
+        if (src >= 0) {
+            recovery.addFlow(src, r.to, cfg_.model.expertBytes);
+            slowest = std::max(slowest,
+                               flowTime(topo, src, r.to,
+                                        cfg_.model.expertBytes));
+        } else {
+            // No reachable replica: cold host reload.
+            slowest = std::max(slowest,
+                               cfg_.model.expertBytes /
+                                   cfg_.faultHostReloadBandwidth);
+        }
+    }
+    return std::max(slowest, recovery.phaseTime());
+}
+
 IterationDemand
 InferenceEngine::configuredDemand() const
 {
@@ -134,10 +223,21 @@ InferenceEngine::step(const IterationDemand &demand)
     const int tokens = demand.tokensPerGroup();
     const double tokenBytes = cfg_.model.tokenBytes();
 
+    // --- Fault boundary ----------------------------------------------------
+    // Null faults_ is the guaranteed fast path: everything below then
+    // follows the pre-fault code exactly (factors of 1.0, the
+    // mapping's own topology), bitwise identical to an unattached run.
+    if (faults_ != nullptr)
+        syncFaults(stats);
+
     // --- Attention phase -------------------------------------------------
-    stats.attnCompute = attentionCompute(demand);
+    // TP shards run in lockstep, so one straggler in the group holds
+    // every attention shard back by its factor.
+    stats.attnCompute = attentionCompute(demand) *
+        (faults_ != nullptr ? faults_->maxLiveComputeFactor() : 1.0);
     stats.allReduce = mapping_.allReduceInto(
-        tokens * tokenBytes, cfg_.retainAllGather, arScratch_);
+        activeTopology(), tokens * tokenBytes, cfg_.retainAllGather,
+        arScratch_);
 
     // --- Gating -----------------------------------------------------------
     workload_.sampleCountsInto(iteration_, 0, tokens, mapping_.dp(),
@@ -197,7 +297,8 @@ InferenceEngine::step(const IterationDemand &demand)
                 routedScratch_
                     .tokensPerDevice[static_cast<std::size_t>(d)],
                 routedScratch_.activeExpertsPerDevice[
-                    static_cast<std::size_t>(d)]);
+                    static_cast<std::size_t>(d)],
+                faults_ != nullptr ? faults_->computeFactor(d) : 1.0);
             if (c.total() > stats.moeTime) {
                 stats.moeTime = c.total();
                 stats.moeComputeOnly = c.computeTime;
@@ -208,12 +309,21 @@ InferenceEngine::step(const IterationDemand &demand)
     }
 
     // --- Load statistics ---------------------------------------------------
+    // Under faults the fleet shrank: lost devices route zero tokens
+    // and would drag the mean down, so imbalance is over live devices.
     double sum = 0.0;
-    for (const double t : *deviceTokens) {
+    std::size_t liveCount = 0;
+    for (std::size_t d = 0; d < deviceTokens->size(); ++d) {
+        if (faults_ != nullptr &&
+            faults_->deviceLost(static_cast<DeviceId>(d))) {
+            continue;
+        }
+        const double t = (*deviceTokens)[d];
         stats.loadMax = std::max(stats.loadMax, t);
         sum += t;
+        ++liveCount;
     }
-    stats.loadAvg = sum / static_cast<double>(deviceTokens->size());
+    stats.loadAvg = sum / static_cast<double>(liveCount);
     stats.imbalance = stats.loadAvg > 0.0
         ? (stats.loadMax - stats.loadAvg) / stats.loadAvg
         : 0.0;
@@ -234,13 +344,13 @@ InferenceEngine::step(const IterationDemand &demand)
             // Invasive migration interrupts inference: transfers run
             // concurrently, each paying the Eq.(1) store-and-forward
             // cost of its route; shared links add serialisation.
-            PhaseTraffic mig(mapping_.topology());
+            PhaseTraffic mig(activeTopology());
             double slowest = 0.0;
             for (const MigrationStep &s : steps) {
                 mig.addFlow(s.srcDevice, s.dstDevice,
                             cfg_.model.expertBytes);
                 slowest = std::max(
-                    slowest, flowTime(mapping_.topology(), s.srcDevice,
+                    slowest, flowTime(activeTopology(), s.srcDevice,
                                       s.dstDevice,
                                       cfg_.model.expertBytes));
             }

@@ -39,6 +39,9 @@
 
 namespace moentwine {
 
+class FaultInjector;
+struct ExpertRehoming;
+
 /** Which balancing strategy the engine runs. */
 enum class BalancerKind
 {
@@ -101,6 +104,13 @@ struct EngineConfig
      * measure the pre-aggregation baseline in bench/perf_routing.
      */
     bool aggregateFlows = true;
+    /**
+     * Host-reload bandwidth (B/s) used when re-homing an expert after
+     * device loss finds no reachable surviving replica: the weights
+     * restream cold from host DRAM over the service fabric instead of
+     * peer-to-peer over the mesh (fault recovery worst case).
+     */
+    double faultHostReloadBandwidth = 64e9;
     /** Gating / workload regime (expert count and top-k are taken from
      *  the model, not from this sub-config). */
     WorkloadConfig workload{};
@@ -164,6 +174,11 @@ struct IterationStats
     int migrationsCompleted = 0;
     /** Hidden migrations still pending (NI only). */
     int migrationsPending = 0;
+    /** Fault events this step() applied at its boundary (0 when an
+     *  outer layer advanced the shared injector first). */
+    int faultEventsApplied = 0;
+    /** Critical-path expert re-homing time after device loss. */
+    double faultRecoveryTime = 0.0;
 
     /** MoE all-to-all total. */
     double allToAll() const { return dispatch + combine; }
@@ -177,7 +192,8 @@ struct IterationStats
     /** Iteration latency of the representative layer. */
     double layerTime(int stages) const
     {
-        return attnPhase(stages) + moePhase(stages) + migrationOverhead;
+        return attnPhase(stages) + moePhase(stages) + migrationOverhead +
+            faultRecoveryTime;
     }
 };
 
@@ -227,7 +243,28 @@ class InferenceEngine
     /** Tokens per group for the configured scheduling mode. */
     int tokensPerGroup() const;
 
+    /**
+     * Attach a fault injector (src/fault/) whose events this engine
+     * consumes at iteration boundaries: traffic retargets onto the
+     * degraded topology, stragglers scale per-device compute, and lost
+     * devices get their experts re-homed (recovery charged to the
+     * iteration). Must be called before the first step(); the injector
+     * must shadow this engine's topology and outlive it. A null or
+     * empty-plan injector detaches — the engine then runs the exact
+     * fault-free code path, bitwise identical to an unattached run.
+     * Unsupported under ESP.
+     */
+    void attachFaults(FaultInjector *injector);
+
+    /** Degraded overlay when faults are attached, else the mapping's. */
+    const Topology &activeTopology() const;
+
   private:
+    /** Apply the fault boundary of the current iteration. */
+    void syncFaults(IterationStats &stats);
+
+    /** Critical-path cost of re-homing experts off a lost device. */
+    double recoveryTime(const std::vector<ExpertRehoming> &rehomed) const;
     /** Attention compute time for the given token demand. */
     double attentionCompute(const IterationDemand &demand) const;
 
@@ -244,6 +281,14 @@ class InferenceEngine
     std::unique_ptr<Balancer> invasive_;
     std::unique_ptr<NiBalancer> nonInvasive_;
     int iteration_ = 0;
+
+    // Fault state: null (the guaranteed-identical fast path) unless a
+    // non-empty injector is attached. The engine reacts to injector
+    // *state* — the topology epoch and the lost-device list — so a
+    // serving layer sharing the injector may advance it first.
+    FaultInjector *faults_ = nullptr;
+    int faultTopoEpochSeen_ = 0;
+    std::size_t faultLostSeen_ = 0;
 
     // Per-iteration scratch, reused across step() calls so the hot
     // path performs no steady-state allocation. All mutable state of a

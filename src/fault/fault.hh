@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header for the fault-injection & degraded-operation layer.
+ * See fault_plan.hh for the event vocabulary and the determinism
+ * contract shared by everything under src/fault/.
+ */
+
+#ifndef MOENTWINE_FAULT_FAULT_HH
+#define MOENTWINE_FAULT_FAULT_HH
+
+#include "fault/fault_injector.hh"
+#include "fault/fault_plan.hh"
+#include "fault/fault_topology.hh"
+#include "fault/scenarios.hh"
+
+#endif // MOENTWINE_FAULT_FAULT_HH

@@ -1,0 +1,89 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+FaultInjector::FaultInjector(const Topology &base, FaultPlan plan)
+    : base_(&base), plan_(std::move(plan))
+{
+    plan_.validate(base);
+    const auto devices = static_cast<std::size_t>(base.numDevices());
+    computeFactor_.assign(devices, 1.0);
+    lost_.assign(devices, 0);
+}
+
+FaultTopology &
+FaultInjector::ensureOverlay()
+{
+    if (!overlay_)
+        overlay_ = std::make_unique<FaultTopology>(*base_);
+    return *overlay_;
+}
+
+void
+FaultInjector::markLost(DeviceId d)
+{
+    if (lost_[static_cast<std::size_t>(d)])
+        return;
+    lost_[static_cast<std::size_t>(d)] = 1;
+    lostList_.push_back(d);
+}
+
+int
+FaultInjector::advanceTo(int iteration)
+{
+    int applied = 0;
+    bool linkEvents = false;
+    while (nextEvent_ < plan_.events.size() &&
+           plan_.events[nextEvent_].iteration <= iteration) {
+        const FaultEvent &e = plan_.events[nextEvent_];
+        switch (e.kind) {
+          case FaultEventKind::LinkDegrade:
+            ensureOverlay().degradeLink(e.target, e.factor);
+            linkEvents = true;
+            break;
+          case FaultEventKind::LinkFail:
+            ensureOverlay().failLink(e.target);
+            linkEvents = true;
+            break;
+          case FaultEventKind::LinkRestore:
+            ensureOverlay().restoreLink(e.target);
+            linkEvents = true;
+            break;
+          case FaultEventKind::SlowNode:
+            computeFactor_[static_cast<std::size_t>(e.target)] =
+                e.factor;
+            break;
+          case FaultEventKind::NodeFail:
+            markLost(e.target);
+            break;
+        }
+        ++nextEvent_;
+        ++applied;
+    }
+    if (linkEvents) {
+        // One reroute per boundary, after the boundary's last link
+        // event; devices cut off by the failures join the lost set.
+        overlay_->rebuildAfterFaults();
+        for (const DeviceId d : overlay_->isolatedDevices())
+            markLost(d);
+        ++topologyEpoch_;
+    }
+    return applied;
+}
+
+double
+FaultInjector::maxLiveComputeFactor() const
+{
+    double factor = 1.0;
+    for (std::size_t d = 0; d < computeFactor_.size(); ++d) {
+        if (!lost_[d])
+            factor = std::max(factor, computeFactor_[d]);
+    }
+    return factor;
+}
+
+} // namespace moentwine

@@ -1,0 +1,132 @@
+#include "fault/fault_plan.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "topology/topology.hh"
+
+namespace moentwine {
+
+std::string
+faultEventKindName(FaultEventKind kind)
+{
+    switch (kind) {
+      case FaultEventKind::LinkDegrade:
+        return "LinkDegrade";
+      case FaultEventKind::LinkFail:
+        return "LinkFail";
+      case FaultEventKind::LinkRestore:
+        return "LinkRestore";
+      case FaultEventKind::SlowNode:
+        return "SlowNode";
+      case FaultEventKind::NodeFail:
+        return "NodeFail";
+    }
+    panic("unknown fault event kind");
+}
+
+FaultEvent
+FaultEvent::linkDegrade(int iteration, LinkId link, double bwFactor)
+{
+    return FaultEvent{iteration, FaultEventKind::LinkDegrade, link,
+                      bwFactor};
+}
+
+FaultEvent
+FaultEvent::linkFail(int iteration, LinkId link)
+{
+    return FaultEvent{iteration, FaultEventKind::LinkFail, link, 1.0};
+}
+
+FaultEvent
+FaultEvent::linkRestore(int iteration, LinkId link)
+{
+    return FaultEvent{iteration, FaultEventKind::LinkRestore, link, 1.0};
+}
+
+FaultEvent
+FaultEvent::slowNode(int iteration, DeviceId node, double computeFactor)
+{
+    return FaultEvent{iteration, FaultEventKind::SlowNode, node,
+                      computeFactor};
+}
+
+FaultEvent
+FaultEvent::nodeFail(int iteration, DeviceId node)
+{
+    return FaultEvent{iteration, FaultEventKind::NodeFail, node, 1.0};
+}
+
+std::string
+describe(const FaultEvent &event)
+{
+    std::ostringstream os;
+    os << faultEventKindName(event.kind) << "(" << event.target;
+    if (event.kind == FaultEventKind::LinkDegrade ||
+        event.kind == FaultEventKind::SlowNode) {
+        os << ", " << event.factor;
+    }
+    os << ")@" << event.iteration;
+    return os.str();
+}
+
+namespace {
+
+[[noreturn]] void
+rejectEvent(std::size_t index, const FaultEvent &event,
+            const std::string &why)
+{
+    std::ostringstream os;
+    os << "fault plan event " << index << " (" << describe(event)
+       << "): " << why;
+    fatal(os.str());
+}
+
+} // namespace
+
+void
+FaultPlan::validate(const Topology &topo) const
+{
+    const auto numLinks = static_cast<int>(topo.links().size());
+    const int numDevices = topo.numDevices();
+    int prevIteration = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const FaultEvent &e = events[i];
+        if (e.iteration < 0)
+            rejectEvent(i, e, "negative iteration");
+        if (e.iteration < prevIteration) {
+            rejectEvent(i, e,
+                        "iterations must be non-decreasing (previous "
+                        "event at " +
+                            std::to_string(prevIteration) + ")");
+        }
+        prevIteration = e.iteration;
+        switch (e.kind) {
+          case FaultEventKind::LinkDegrade:
+            if (e.factor <= 0.0 || e.factor > 1.0)
+                rejectEvent(i, e, "bwFactor must be in (0, 1]");
+            [[fallthrough]];
+          case FaultEventKind::LinkFail:
+          case FaultEventKind::LinkRestore:
+            if (e.target < 0 || e.target >= numLinks) {
+                rejectEvent(i, e,
+                            "link id out of range [0, " +
+                                std::to_string(numLinks) + ")");
+            }
+            break;
+          case FaultEventKind::SlowNode:
+            if (e.factor <= 0.0)
+                rejectEvent(i, e, "computeFactor must be positive");
+            [[fallthrough]];
+          case FaultEventKind::NodeFail:
+            if (e.target < 0 || e.target >= numDevices) {
+                rejectEvent(i, e,
+                            "device id out of range [0, " +
+                                std::to_string(numDevices) + ")");
+            }
+            break;
+        }
+    }
+}
+
+} // namespace moentwine

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Timestamped fault plans: the event vocabulary of the degraded-
+ * operation layer.
+ *
+ * A FaultPlan is an ordered list of events stamped with the engine
+ * iteration at which they take effect. The vocabulary is exactly five
+ * events:
+ *
+ *  - LinkDegrade{link, bwFactor}: the link runs at bwFactor × its
+ *    nameplate bandwidth (0 < bwFactor <= 1). Degrades are absolute,
+ *    not cumulative: a second degrade of the same link replaces the
+ *    first.
+ *  - LinkFail{link}: the link carries no traffic; routes are
+ *    recomputed to avoid it. A (src, dst) pair left with no live path
+ *    is reported as unreachable, never silently mis-routed.
+ *  - LinkRestore{link}: the link returns to nameplate bandwidth,
+ *    clearing both a degrade and a failure.
+ *  - SlowNode{node, computeFactor}: the device's compute time scales
+ *    by computeFactor (> 0; a factor of 1 clears the straggler).
+ *  - NodeFail{node}: the device stops computing permanently. Its NoC
+ *    router keeps forwarding (model a fully dead die by also failing
+ *    its links). Device loss is monotone: a LinkRestore that reconnects
+ *    an isolated device returns link capacity, but the drained device
+ *    stays lost — re-homed experts do not move back.
+ *
+ * Determinism contract: fault application is a pure function of the
+ * plan and the iteration counter. Events are consumed at iteration
+ * boundaries in plan order (ties at the same iteration apply in list
+ * order), reroutes are min-hop with ascending node/link-id tie-breaks,
+ * and no wall-clock or RNG state is consulted anywhere in src/fault/.
+ * Two runs of the same plan over the same system are bitwise
+ * identical, across thread counts — and an empty plan is bitwise
+ * identical to the fault-free engine and serving paths.
+ */
+
+#ifndef MOENTWINE_FAULT_FAULT_PLAN_HH
+#define MOENTWINE_FAULT_FAULT_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "topology/graph.hh"
+
+namespace moentwine {
+
+class Topology;
+
+/** The five fault-event kinds (see file comment for semantics). */
+enum class FaultEventKind
+{
+    LinkDegrade,
+    LinkFail,
+    LinkRestore,
+    SlowNode,
+    NodeFail,
+};
+
+/** Human-readable kind name for reports and bench output. */
+std::string faultEventKindName(FaultEventKind kind);
+
+/** One timestamped fault event. Build via the named factories. */
+struct FaultEvent
+{
+    /** Engine iteration at whose boundary the event applies. */
+    int iteration = 0;
+    FaultEventKind kind = FaultEventKind::LinkDegrade;
+    /** LinkId for link events, DeviceId for node events. */
+    int target = -1;
+    /** bwFactor (LinkDegrade) or computeFactor (SlowNode); else 1. */
+    double factor = 1.0;
+
+    static FaultEvent linkDegrade(int iteration, LinkId link,
+                                  double bwFactor);
+    static FaultEvent linkFail(int iteration, LinkId link);
+    static FaultEvent linkRestore(int iteration, LinkId link);
+    static FaultEvent slowNode(int iteration, DeviceId node,
+                               double computeFactor);
+    static FaultEvent nodeFail(int iteration, DeviceId node);
+};
+
+/** Short "kind(target)@iteration" description for logs and reports. */
+std::string describe(const FaultEvent &event);
+
+/**
+ * An ordered, timestamped list of fault events. An empty plan is the
+ * fault-free fast path: every consumer bypasses its fault logic
+ * entirely, preserving bitwise-identical outputs.
+ */
+struct FaultPlan
+{
+    std::vector<FaultEvent> events;
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Reject malformed plans loudly (fatal): out-of-range link/device
+     * targets for @p topo, negative or non-monotone iterations, and
+     * out-of-domain factors. FaultInjector validates at construction.
+     */
+    void validate(const Topology &topo) const;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_FAULT_FAULT_PLAN_HH

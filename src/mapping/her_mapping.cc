@@ -69,16 +69,17 @@ HierarchicalErMapping::HierarchicalErMapping(const MeshTopology &mesh,
 }
 
 double
-HierarchicalErMapping::allReduceInto(double bytesPerGroup,
+HierarchicalErMapping::allReduceInto(const Topology &onTopo,
+                                     double bytesPerGroup,
                                      bool withAllGather,
                                      CollectiveScratch &scratch) const
 {
     if (!withAllGather || mesh_.numWafers() == 1) {
         // Single wafer degenerates to plain entwined-ring all-reduce.
-        return Mapping::allReduceInto(bytesPerGroup, withAllGather,
-                                      scratch);
+        return Mapping::allReduceInto(onTopo, bytesPerGroup,
+                                      withAllGather, scratch);
     }
-    return hierarchicalAllReduceInto(topo_, tpGroups_, interRings_,
+    return hierarchicalAllReduceInto(onTopo, tpGroups_, interRings_,
                                      bytesPerGroup, scratch);
 }
 

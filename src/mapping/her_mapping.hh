@@ -41,7 +41,9 @@ class HierarchicalErMapping : public Mapping
 
     bool staggeredRings() const override { return true; }
 
-    double allReduceInto(double bytesPerGroup, bool withAllGather,
+    using Mapping::allReduceInto;
+    double allReduceInto(const Topology &onTopo, double bytesPerGroup,
+                         bool withAllGather,
                          CollectiveScratch &scratch) const override;
 
     DeviceId dispatchSource(int group, int rank, DeviceId expertDevice,

@@ -90,7 +90,15 @@ double
 Mapping::allReduceInto(double bytesPerGroup, bool withAllGather,
                        CollectiveScratch &scratch) const
 {
-    return ringCollectiveInto(topo_, tpGroups_, bytesPerGroup,
+    return allReduceInto(topo_, bytesPerGroup, withAllGather, scratch);
+}
+
+double
+Mapping::allReduceInto(const Topology &onTopo, double bytesPerGroup,
+                       bool withAllGather,
+                       CollectiveScratch &scratch) const
+{
+    return ringCollectiveInto(onTopo, tpGroups_, bytesPerGroup,
                               withAllGather ? RingOp::AllReduce
                                             : RingOp::ReduceScatter,
                               staggeredRings(), scratch);

@@ -102,11 +102,24 @@ class Mapping
     /**
      * Allocation-free allReduce(): identical timing, with the per-link
      * traffic accumulated into @p scratch (engine-owned, reused across
-     * iterations) instead of a freshly allocated PhaseTraffic. This is
-     * the virtual customisation point; HER-Mapping overrides it with
-     * the hierarchical two-stage schedule.
+     * iterations) instead of a freshly allocated PhaseTraffic.
+     * Forwards to the topology-explicit overload below with the
+     * construction topology.
      */
-    virtual double allReduceInto(double bytesPerGroup, bool withAllGather,
+    double allReduceInto(double bytesPerGroup, bool withAllGather,
+                         CollectiveScratch &scratch) const;
+
+    /**
+     * allReduceInto() with this mapping's ring schedule charged over
+     * @p onTopo instead of the construction topology. The virtual
+     * customisation point (HER-Mapping overrides it with the
+     * hierarchical two-stage schedule). The fault layer passes the
+     * degraded overlay here — identical link ids, mutated bandwidths
+     * and routes — so all-reduce cost reacts to degraded links without
+     * rebuilding the mapping.
+     */
+    virtual double allReduceInto(const Topology &onTopo,
+                                 double bytesPerGroup, bool withAllGather,
                                  CollectiveScratch &scratch) const;
 
     /**

@@ -15,24 +15,28 @@ CostModel::CostModel(const DeviceSpec &spec, double efficiency)
 
 MoeDeviceCost
 CostModel::moeDevice(const MoEModelConfig &model, double tokensRouted,
-                     double expertsResident) const
+                     double expertsResident, double computeFactor) const
 {
     MOE_ASSERT(tokensRouted >= 0.0, "negative routed token count");
     MOE_ASSERT(expertsResident >= 0.0, "negative resident expert count");
+    MOE_ASSERT(computeFactor > 0.0, "compute factor must be positive");
     MoeDeviceCost cost;
     cost.computeTime = tokensRouted * model.expertOpsPerToken() /
-        (spec_.int8Ops * efficiency_);
+        (spec_.int8Ops * efficiency_) * computeFactor;
     cost.memoryTime =
-        weightStreamTime(expertsResident * model.expertBytes);
+        weightStreamTime(expertsResident * model.expertBytes) *
+        computeFactor;
     return cost;
 }
 
 double
 CostModel::attentionTime(const MoEModelConfig &model, double tokens,
-                         int tp, double contextLen, Stage stage) const
+                         int tp, double contextLen, Stage stage,
+                         double computeFactor) const
 {
     MOE_ASSERT(tp >= 1, "tensor-parallel degree must be >= 1");
     MOE_ASSERT(tokens >= 0.0, "negative token count");
+    MOE_ASSERT(computeFactor > 0.0, "compute factor must be positive");
     const double h = model.hiddenSize;
 
     // QKV + output projections: 8 h^2 MACs per token, split across TP.
@@ -53,8 +57,9 @@ CostModel::attentionTime(const MoEModelConfig &model, double tokens,
             model.kvCompression / tp;
         memoryTime = kvBytes / spec_.hbmBandwidth;
     }
-    return std::max(computeTime, memoryTime) +
-        std::min(computeTime, memoryTime) * 0.1;
+    return (std::max(computeTime, memoryTime) +
+            std::min(computeTime, memoryTime) * 0.1) *
+        computeFactor;
 }
 
 double

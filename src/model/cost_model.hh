@@ -64,10 +64,13 @@ class CostModel
      *                     to this device's experts in this layer.
      * @param expertsResident Activated experts whose weights this
      *                     device must stream this layer.
+     * @param computeFactor Straggler multiplier on the device's whole
+     *                     pipeline (SM clock and HBM throttled alike);
+     *                     1 is nominal. Injected by the fault layer.
      */
     MoeDeviceCost moeDevice(const MoEModelConfig &model,
-                            double tokensRouted,
-                            double expertsResident) const;
+                            double tokensRouted, double expertsResident,
+                            double computeFactor = 1.0) const;
 
     /**
      * Attention time of one device for one layer.
@@ -77,9 +80,13 @@ class CostModel
      * @param tp          Tensor-parallel degree (weights/heads split).
      * @param contextLen  Average context length (KV entries per token).
      * @param stage       Prefill or decode.
+     * @param computeFactor Straggler multiplier (see moeDevice()); the
+     *                    engine passes the worst live factor, since TP
+     *                    shards run in lockstep.
      */
     double attentionTime(const MoEModelConfig &model, double tokens,
-                         int tp, double contextLen, Stage stage) const;
+                         int tp, double contextLen, Stage stage,
+                         double computeFactor = 1.0) const;
 
     /** Expert-weight HBM streaming time for @p bytes of weights. */
     double weightStreamTime(double bytes) const;

@@ -66,6 +66,14 @@ struct CollectiveScratch
     {
     }
 
+    /** Re-point both buffers at a same-link-set topology (see
+     *  PhaseTraffic::retarget); used at fault boundaries. */
+    void retarget(const Topology &topo)
+    {
+        traffic.retarget(topo);
+        round.retarget(topo);
+    }
+
     /** Aggregated per-link volume of the last collective run. */
     PhaseTraffic traffic;
     /** Per-round accumulation buffer for the un-staggered path. */

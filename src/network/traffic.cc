@@ -20,8 +20,17 @@ flowTime(const Topology &topo, DeviceId src, DeviceId dst, double bytes)
 }
 
 PhaseTraffic::PhaseTraffic(const Topology &topo)
-    : topo_(topo), volume_(topo.links().size(), 0.0)
+    : topo_(&topo), volume_(topo.links().size(), 0.0)
 {
+}
+
+void
+PhaseTraffic::retarget(const Topology &topo)
+{
+    MOE_ASSERT(topo.links().size() == volume_.size(),
+               "retarget across topologies with different link sets");
+    topo_ = &topo;
+    clear();
 }
 
 void
@@ -44,11 +53,11 @@ PhaseTraffic::addFlow(DeviceId src, DeviceId dst, double bytes)
     // the link order (and therefore the latency summation) is the one
     // computeRoute() defines, and no allocation happens.
     double pathLatency = 0.0;
-    for (const LinkId l : topo_.walk(src, dst)) {
+    for (const LinkId l : topo_->walk(src, dst)) {
         MOE_ASSERT(l >= 0 && static_cast<std::size_t>(l) < volume_.size(),
                    "bad link id in route walk");
         volume_[static_cast<std::size_t>(l)] += bytes;
-        pathLatency += topo_.links()[static_cast<std::size_t>(l)].latency;
+        pathLatency += topo_->links()[static_cast<std::size_t>(l)].latency;
     }
     maxPathLatency_ = std::max(maxPathLatency_, pathLatency);
     totalFlowBytes_ += bytes;
@@ -79,7 +88,7 @@ PhaseTraffic::serializationTime() const
     for (std::size_t i = 0; i < volume_.size(); ++i) {
         if (volume_[i] <= 0.0)
             continue;
-        worst = std::max(worst, volume_[i] / topo_.links()[i].bandwidth);
+        worst = std::max(worst, volume_[i] / topo_->links()[i].bandwidth);
     }
     return worst;
 }
@@ -138,7 +147,7 @@ double
 PhaseTraffic::idleBytes(LinkId l, double window) const
 {
     MOE_ASSERT(window >= 0.0, "idle window must be non-negative");
-    const Link &link = topo_.links()[static_cast<std::size_t>(l)];
+    const Link &link = topo_->links()[static_cast<std::size_t>(l)];
     const double budget = link.bandwidth * window -
         volume_[static_cast<std::size_t>(l)];
     return std::max(0.0, budget);

@@ -130,10 +130,18 @@ class PhaseTraffic
     std::string heatmapAscii(const MeshTopology &mesh) const;
 
     /** The topology this phase runs on. */
-    const Topology &topology() const { return topo_; }
+    const Topology &topology() const { return *topo_; }
+
+    /**
+     * Re-point the phase at another topology with the SAME link ids
+     * (the fault overlay copies the base link set, so the volume
+     * buffer stays valid). Clears accumulated state; the engine calls
+     * this at a fault boundary before refilling the phase.
+     */
+    void retarget(const Topology &topo);
 
   private:
-    const Topology &topo_;
+    const Topology *topo_;
     std::vector<double> volume_;
     double maxPathLatency_ = 0.0;
     double totalFlowBytes_ = 0.0;

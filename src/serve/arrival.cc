@@ -62,8 +62,31 @@ ArrivalProcess::ArrivalProcess(const ArrivalConfig &cfg)
     if (cfg.kind == ArrivalKind::Trace) {
         if (cfg.trace.empty())
             fatal("trace-replay arrival process with an empty trace");
+        // Reject malformed trace entries here, at construction, not
+        // deep inside generate() when the bad entry is reached.
+        for (std::size_t i = 0; i < cfg.trace.size(); ++i) {
+            const TraceRequest &t = cfg.trace[i];
+            if (t.time < 0.0 || !std::isfinite(t.time))
+                fatal("trace entry " + std::to_string(i) +
+                      " has a negative or non-finite arrival time");
+            if (t.promptTokens <= 0 || t.outputTokens <= 0)
+                fatal("trace entry " + std::to_string(i) +
+                      " has an empty prompt or output");
+        }
     } else {
-        MOE_ASSERT(cfg.ratePerSec > 0.0, "arrival rate must be positive");
+        if (!std::isfinite(cfg.ratePerSec) || cfg.ratePerSec <= 0.0)
+            fatal("arrival rate must be positive and finite (got " +
+                  std::to_string(cfg.ratePerSec) + ")");
+        // Log-normal length sampling takes log(mean·scale): a
+        // non-positive mean is NaN lengths, not an empty stream.
+        if (cfg.promptMeanTokens <= 0.0)
+            fatal("prompt mean tokens must be positive (got " +
+                  std::to_string(cfg.promptMeanTokens) + ")");
+        if (cfg.outputMeanTokens <= 0.0)
+            fatal("output mean tokens must be positive (got " +
+                  std::to_string(cfg.outputMeanTokens) + ")");
+        if (cfg.promptSigma < 0.0 || cfg.outputSigma < 0.0)
+            fatal("log-normal length sigma must be non-negative");
     }
     MOE_ASSERT(cfg.burstRateFactor > 0.0 && cfg.quietRateFactor > 0.0,
                "MMPP rate factors must be positive");

@@ -36,6 +36,18 @@ struct ServeRequest
     int kvTokens() const { return promptTokens + outputTokens; }
 };
 
+/**
+ * How a request left the system. Under a fault-free run every request
+ * completes; the fault layer (src/fault/ + ServeSimulator's
+ * FaultPolicy) adds load shedding and hard failures.
+ */
+enum class RequestOutcome
+{
+    Completed, ///< served to the last output token
+    Shed,      ///< dropped from the wait queue (admission control)
+    Failed,    ///< lost to a fault after exhausting its retry budget
+};
+
 /** Completion record of one request (times on the virtual clock). */
 struct RequestMetrics
 {
@@ -51,6 +63,10 @@ struct RequestMetrics
     double firstTokenTime = 0.0;
     /** Completion of the last decode iteration. */
     double finishTime = 0.0;
+    /** Terminal state (Completed unless the fault layer intervened). */
+    RequestOutcome outcome = RequestOutcome::Completed;
+    /** Fault-triggered evictions this request survived (restart count). */
+    int retries = 0;
 
     /** Time to first token, queueing included. */
     double ttft() const { return firstTokenTime - arrivalTime; }

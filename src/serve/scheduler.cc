@@ -19,6 +19,7 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(
 
     metrics_.resize(requests_.size());
     scenarioTokens_.assign(allScenarios().size(), 0.0);
+    kvLimit_ = cfg_.kvBudgetTokens;
     for (std::size_t i = 0; i < requests_.size(); ++i) {
         const ServeRequest &r = requests_[i];
         MOE_ASSERT(r.promptTokens > 0 && r.outputTokens > 0,
@@ -60,6 +61,23 @@ ContinuousBatchScheduler::admit(double now)
         queue_.push_back(static_cast<int>(nextArrival_));
         ++nextArrival_;
     }
+    // Retries whose backoff elapsed re-enter at the queue *front*, in
+    // eviction order, so fault victims do not also lose their place.
+    if (!retryQueue_.empty()) {
+        std::size_t w = 0;
+        std::size_t inserted = 0;
+        for (std::size_t i = 0; i < retryQueue_.size(); ++i) {
+            const Retry entry = retryQueue_[i];
+            if (entry.readyIteration <= iteration_) {
+                queue_.insert(queue_.begin() +
+                                  static_cast<std::ptrdiff_t>(inserted++),
+                              entry.request);
+            } else {
+                retryQueue_[w++] = entry;
+            }
+        }
+        retryQueue_.resize(w);
+    }
     // FIFO with head-of-line blocking: stop at the first request that
     // does not fit, so admission order equals arrival order.
     while (!queue_.empty() &&
@@ -67,7 +85,7 @@ ContinuousBatchScheduler::admit(double now)
         const int idx = queue_.front();
         const ServeRequest &r =
             requests_[static_cast<std::size_t>(idx)];
-        if (kvReserved_ + r.kvTokens() > cfg_.kvBudgetTokens)
+        if (kvReserved_ + r.kvTokens() > kvLimit_)
             break;
         queue_.pop_front();
         kvReserved_ += r.kvTokens();
@@ -75,6 +93,83 @@ ContinuousBatchScheduler::admit(double now)
         admissionOrder_.push_back(r.id);
         metrics_[static_cast<std::size_t>(idx)].admitTime = now;
     }
+}
+
+void
+ContinuousBatchScheduler::setKvBudgetLimit(int tokens)
+{
+    kvLimit_ = std::min(std::max(tokens, 1), cfg_.kvBudgetTokens);
+}
+
+const ServeRequest &
+ContinuousBatchScheduler::request(int idx) const
+{
+    MOE_ASSERT(idx >= 0 &&
+                   idx < static_cast<int>(requests_.size()),
+               "request(): bad stream index");
+    return requests_[static_cast<std::size_t>(idx)];
+}
+
+std::vector<int>
+ContinuousBatchScheduler::runningRequests() const
+{
+    std::vector<int> indices;
+    indices.reserve(running_.size());
+    for (const Running &run : running_)
+        indices.push_back(run.request);
+    return indices;
+}
+
+void
+ContinuousBatchScheduler::shedHead(double now)
+{
+    MOE_ASSERT(!planPending_, "shedHead() with a plan pending");
+    MOE_ASSERT(!queue_.empty(), "shedHead() on an empty queue");
+    const int idx = queue_.front();
+    queue_.pop_front();
+    RequestMetrics &m = metrics_[static_cast<std::size_t>(idx)];
+    m.outcome = RequestOutcome::Shed;
+    m.finishTime = now;
+    ++finished_;
+}
+
+void
+ContinuousBatchScheduler::removeRunning(int requestIdx)
+{
+    const auto it = std::find_if(
+        running_.begin(), running_.end(),
+        [requestIdx](const Running &run) {
+            return run.request == requestIdx;
+        });
+    MOE_ASSERT(it != running_.end(), "request is not running");
+    kvReserved_ -=
+        requests_[static_cast<std::size_t>(requestIdx)].kvTokens();
+    running_.erase(it);
+}
+
+void
+ContinuousBatchScheduler::evictToRetry(int requestIdx,
+                                       int readyIteration)
+{
+    MOE_ASSERT(!planPending_, "evictToRetry() with a plan pending");
+    removeRunning(requestIdx);
+    RequestMetrics &m = metrics_[static_cast<std::size_t>(requestIdx)];
+    // The restart recomputes everything: the first token the retry
+    // emits is the one that counts for TTFT.
+    m.firstTokenTime = 0.0;
+    ++m.retries;
+    retryQueue_.push_back(Retry{requestIdx, readyIteration});
+}
+
+void
+ContinuousBatchScheduler::failRunning(int requestIdx, double now)
+{
+    MOE_ASSERT(!planPending_, "failRunning() with a plan pending");
+    removeRunning(requestIdx);
+    RequestMetrics &m = metrics_[static_cast<std::size_t>(requestIdx)];
+    m.outcome = RequestOutcome::Failed;
+    m.finishTime = now;
+    ++finished_;
 }
 
 IterationDemand
@@ -118,6 +213,7 @@ ContinuousBatchScheduler::complete(double end)
 {
     MOE_ASSERT(planPending_, "complete() without a pending plan");
     planPending_ = false;
+    ++iteration_;
     std::size_t w = 0;
     for (std::size_t i = 0; i < running_.size(); ++i) {
         Running run = running_[i];

@@ -12,6 +12,14 @@
  * prefillChunkTokens on the oldest unfinished prefills, while every
  * fully prefilled request contributes one decode token.
  *
+ * The fault layer drives three extra transitions: shedHead() drops the
+ * queue head under admission control, evictToRetry() bounces a running
+ * request back to the queue front after a backoff (its progress is
+ * lost — KV state died with the device), and failRunning() terminates
+ * one that exhausted its retry budget. setKvBudgetLimit() lowers the
+ * effective admission budget while capacity is degraded; reservations
+ * already made are never revoked by the limit alone.
+ *
  * All token quantities are per TP group (see serve/request.hh).
  */
 
@@ -85,6 +93,68 @@ class ContinuousBatchScheduler
     /** Requests waiting for admission. */
     int queueDepth() const { return static_cast<int>(queue_.size()); }
 
+    /** Completed iterations (complete() calls) so far. */
+    int iterationIndex() const { return iteration_; }
+
+    /** Fault-evicted requests still waiting out their backoff. */
+    int retryPending() const
+    {
+        return static_cast<int>(retryQueue_.size());
+    }
+
+    /**
+     * Advance the iteration counter across an idle (no-plan) iteration
+     * so retry backoffs — measured in iterations — still elapse while
+     * the platform waits for its only requests to become re-admissible.
+     */
+    void tickIdle() { ++iteration_; }
+
+    /**
+     * Lower (or restore) the effective KV admission budget. Admission
+     * stops while kvReserved() exceeds the limit; running requests keep
+     * their reservations. Clamped to [1, cfg.kvBudgetTokens].
+     */
+    void setKvBudgetLimit(int tokens);
+
+    /** Effective KV admission budget (cfg budget unless lowered). */
+    int kvBudgetLimit() const { return kvLimit_; }
+
+    /** Request index at the head of the wait queue; -1 when empty. */
+    int queueHead() const
+    {
+        return queue_.empty() ? -1 : queue_.front();
+    }
+
+    /** The request with the given stream index. */
+    const ServeRequest &request(int idx) const;
+
+    /** Stream indices of the running batch, admission-ordered. */
+    std::vector<int> runningRequests() const;
+
+    /**
+     * Drop the queue head (admission control under overload): its
+     * outcome becomes Shed with finishTime = @p now, and it counts as
+     * finished. Panics on an empty queue.
+     */
+    void shedHead(double now);
+
+    /**
+     * Evict a running request after a fault: its KV reservation is
+     * released, all prefill/decode progress is discarded (the KV state
+     * lived on the lost device), its retry count increments, and it
+     * re-enters the wait queue *front* — ahead of never-admitted
+     * arrivals — once iterationIndex() reaches @p readyIteration.
+     * Panics when the request is not running or a plan is pending.
+     */
+    void evictToRetry(int requestIdx, int readyIteration);
+
+    /**
+     * Terminate a running request that exhausted its retry budget:
+     * reservation released, outcome = Failed, finishTime = @p now.
+     * Panics when the request is not running or a plan is pending.
+     */
+    void failRunning(int requestIdx, double now);
+
     /** Requests admitted and not yet finished. */
     int runningCount() const { return static_cast<int>(running_.size()); }
 
@@ -131,16 +201,29 @@ class ContinuousBatchScheduler
         bool decodePlanned; ///< pending plan holds one decode token
     };
 
+    /** A fault-evicted request waiting out its retry backoff. */
+    struct Retry
+    {
+        int request;        ///< index into requests_
+        int readyIteration; ///< first iterationIndex() it may re-queue
+    };
+
+    /** Drop requests_[requestIdx] from running_ and release its KV. */
+    void removeRunning(int requestIdx);
+
     ServeSchedulerConfig cfg_;
     std::vector<ServeRequest> requests_;
     std::vector<RequestMetrics> metrics_;
     std::size_t nextArrival_ = 0; ///< first not-yet-arrived request
     std::deque<int> queue_;       ///< arrived, waiting for admission
     std::vector<Running> running_; ///< admission-ordered running batch
+    std::vector<Retry> retryQueue_; ///< eviction-ordered, backoff-gated
     std::vector<int> admissionOrder_;
     std::vector<double> scenarioTokens_;
     int kvReserved_ = 0;
+    int kvLimit_ = 0; ///< effective admission budget (set in ctor)
     int finished_ = 0;
+    int iteration_ = 0; ///< complete() calls so far
     bool planPending_ = false;
 };
 

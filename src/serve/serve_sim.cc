@@ -2,11 +2,77 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "fault/fault_injector.hh"
 
 namespace moentwine {
+
+namespace {
+
+/**
+ * Resident-device bookkeeping for fault response: every admitted
+ * request lives on one device (where its KV cache sits), assigned
+ * deterministically to the live device with the fewest residents
+ * (ties to the lowest id). When that device dies, the request dies
+ * with it and the scheduler retries or fails it.
+ */
+class ResidencyTracker
+{
+  public:
+    ResidencyTracker(int numRequests, int numDevices)
+        : home_(static_cast<std::size_t>(numRequests), -1),
+          residents_(static_cast<std::size_t>(numDevices), 0)
+    {
+    }
+
+    /** Assign homes to newly admitted (home-less) running requests. */
+    void place(const std::vector<int> &running,
+               const FaultInjector &injector)
+    {
+        for (const int idx : running) {
+            if (home_[static_cast<std::size_t>(idx)] >= 0)
+                continue;
+            int target = -1;
+            for (std::size_t d = 0; d < residents_.size(); ++d) {
+                if (injector.deviceLost(static_cast<DeviceId>(d)))
+                    continue;
+                if (target < 0 ||
+                    residents_[d] <
+                        residents_[static_cast<std::size_t>(target)]) {
+                    target = static_cast<int>(d);
+                }
+            }
+            MOE_ASSERT(target >= 0, "no live device to home a request");
+            home_[static_cast<std::size_t>(idx)] = target;
+            ++residents_[static_cast<std::size_t>(target)];
+        }
+    }
+
+    /** Release a request's residency (eviction, failure, finish). */
+    void release(int idx)
+    {
+        int &h = home_[static_cast<std::size_t>(idx)];
+        if (h >= 0) {
+            --residents_[static_cast<std::size_t>(h)];
+            h = -1;
+        }
+    }
+
+    /** Resident device of a request; -1 when none. */
+    int homeOf(int idx) const
+    {
+        return home_[static_cast<std::size_t>(idx)];
+    }
+
+  private:
+    std::vector<int> home_;
+    std::vector<int> residents_;
+};
+
+} // namespace
 
 ServeSimulator::ServeSimulator(const Mapping &mapping,
                                const ServeConfig &cfg)
@@ -28,16 +94,98 @@ ServeSimulator::run()
                                    arrivals.generate(cfg_.numRequests));
     InferenceEngine engine(mapping_, cfg_.engine);
 
+    // Fault state: null on an empty plan, which keeps the loop below
+    // on the exact fault-free path (bitwise-identical output).
+    std::unique_ptr<FaultInjector> injector;
+    std::unique_ptr<ResidencyTracker> residency;
+    std::vector<double> eventTimes; // virtual time each event applied
+    std::size_t lostSeen = 0;
+    ServeReport report;
+    if (!cfg_.faults.empty()) {
+        injector = std::make_unique<FaultInjector>(mapping_.topology(),
+                                                   cfg_.faults);
+        engine.attachFaults(injector.get());
+        residency = std::make_unique<ResidencyTracker>(
+            cfg_.numRequests, mapping_.topology().numDevices());
+    }
+
     const double layers =
         static_cast<double>(cfg_.engine.model.sparseLayers);
     const int stages = cfg_.engine.pipelineStages;
+    const FaultPolicy &policy = cfg_.faultPolicy;
 
-    ServeReport report;
     double now = 0.0;
     while (!sched.done()) {
+        if (injector) {
+            // Fault boundary, ahead of admission so this iteration's
+            // admits already see the degraded system. The engine reacts
+            // to the injector state this advance produces (its own
+            // advanceTo is a no-op at an equal-or-older iteration).
+            injector->advanceTo(sched.iterationIndex());
+            while (eventTimes.size() <
+                   static_cast<std::size_t>(injector->appliedEvents()))
+                eventTimes.push_back(now);
+            report.liveDeviceFractionMin = std::min(
+                report.liveDeviceFractionMin, injector->liveFraction());
+
+            // Requests resident on newly lost devices lose their KV
+            // state: bounded retry, then hard failure.
+            const auto &lost = injector->lostDevices();
+            while (lostSeen < lost.size()) {
+                const DeviceId dead = lost[lostSeen++];
+                for (const int idx : sched.runningRequests()) {
+                    if (residency->homeOf(idx) != dead)
+                        continue;
+                    residency->release(idx);
+                    const RequestMetrics &m = sched.metrics()
+                        [static_cast<std::size_t>(idx)];
+                    if (m.retries < policy.maxRetries) {
+                        sched.evictToRetry(
+                            idx, sched.iterationIndex() +
+                                policy.retryBackoffIterations);
+                    } else {
+                        sched.failRunning(idx, now);
+                    }
+                }
+            }
+            if (policy.scaleKvBudget) {
+                sched.setKvBudgetLimit(static_cast<int>(
+                    cfg_.scheduler.kvBudgetTokens *
+                    injector->liveFraction()));
+            }
+        }
         sched.admit(now);
+        if (injector) {
+            // SLO-aware shedding: a queue head that can never fit the
+            // degraded KV budget, or that already blew its TTFT bound
+            // by the policy factor, is dropped — re-admitting after
+            // each shed since the head-of-line block may clear.
+            for (;;) {
+                const int head = sched.queueHead();
+                if (head < 0)
+                    break;
+                const ServeRequest &r = sched.request(head);
+                const bool hopeless =
+                    r.kvTokens() > sched.kvBudgetLimit();
+                const bool late = policy.shedOnOverload &&
+                    now - r.arrivalTime >
+                        policy.shedTtftFactor * cfg_.slo.ttft;
+                if (!hopeless && !late)
+                    break;
+                sched.shedHead(now);
+                sched.admit(now);
+            }
+            residency->place(sched.runningRequests(), *injector);
+        }
         const IterationDemand demand = sched.plan();
         if (demand.tokensPerGroup() == 0) {
+            if (injector && sched.retryPending() > 0) {
+                // Nothing runnable but evicted requests are waiting
+                // out an iteration-counted backoff: burn an idle
+                // iteration so they become re-admissible.
+                sched.tickIdle();
+                continue;
+            }
             // Nothing runnable: the platform idles until the next
             // arrival. The scheduler guarantees a queued request is
             // admissible once the batch drains (each fits the budget
@@ -56,6 +204,19 @@ ServeSimulator::run()
         now += stats.layerTime(stages) * layers;
         sched.complete(now);
         ++report.iterations;
+        if (injector) {
+            // Finished requests free their resident slot.
+            std::vector<char> stillRunning(
+                static_cast<std::size_t>(cfg_.numRequests), 0);
+            for (const int idx : sched.runningRequests())
+                stillRunning[static_cast<std::size_t>(idx)] = 1;
+            for (int idx = 0; idx < cfg_.numRequests; ++idx) {
+                if (!stillRunning[static_cast<std::size_t>(idx)] &&
+                    residency->homeOf(idx) >= 0) {
+                    residency->release(idx);
+                }
+            }
+        }
 
         ServeTracePoint point;
         point.time = now;
@@ -76,11 +237,22 @@ ServeSimulator::run()
     double outputTokens = 0.0;
     int good = 0;
     for (const RequestMetrics &m : report.requests) {
-        ttft.add(m.ttft());
-        tpot.add(m.tpot());
-        latency.add(m.latency());
-        outputTokens += m.outputTokens;
-        good += cfg_.slo.met(m);
+        switch (m.outcome) {
+        case RequestOutcome::Completed:
+            ttft.add(m.ttft());
+            tpot.add(m.tpot());
+            latency.add(m.latency());
+            outputTokens += m.outputTokens;
+            good += cfg_.slo.met(m);
+            break;
+        case RequestOutcome::Shed:
+            ++report.shedRequests;
+            break;
+        case RequestOutcome::Failed:
+            ++report.failedRequests;
+            break;
+        }
+        report.retriesTotal += m.retries;
     }
     report.ttftP50 = ttft.percentile(50.0);
     report.ttftP95 = ttft.percentile(95.0);
@@ -110,6 +282,56 @@ ServeSimulator::run()
     }
     report.kvPeakFraction =
         kvPeak / static_cast<double>(cfg_.scheduler.kvBudgetTokens);
+
+    if (injector) {
+        report.faultEventsApplied = injector->appliedEvents();
+        // Per-event attribution: serving quality between consecutive
+        // event applications (the -1 window is the pre-fault baseline).
+        for (int w = -1; w < report.faultEventsApplied; ++w) {
+            FaultEventWindow window;
+            window.eventIndex = w;
+            window.event = w < 0
+                ? "baseline"
+                : describe(injector->plan()
+                               .events[static_cast<std::size_t>(w)]);
+            window.startTime =
+                w < 0 ? 0.0 : eventTimes[static_cast<std::size_t>(w)];
+            window.endTime = w + 1 < report.faultEventsApplied
+                ? eventTimes[static_cast<std::size_t>(w + 1)]
+                : report.makespan;
+            Summary windowLatency;
+            for (const RequestMetrics &m : report.requests) {
+                if (m.finishTime < window.startTime ||
+                    m.finishTime >= window.endTime) {
+                    // Half-open [start, end); the final window keeps
+                    // the run-ending completions.
+                    if (!(w + 1 == report.faultEventsApplied &&
+                          m.finishTime == window.endTime))
+                        continue;
+                }
+                switch (m.outcome) {
+                case RequestOutcome::Completed:
+                    ++window.completed;
+                    windowLatency.add(m.latency());
+                    if (cfg_.slo.met(m))
+                        window.goodputRequestsPerSec += 1.0;
+                    break;
+                case RequestOutcome::Shed:
+                    ++window.shed;
+                    break;
+                case RequestOutcome::Failed:
+                    ++window.failed;
+                    break;
+                }
+            }
+            const double span = window.endTime - window.startTime;
+            window.goodputRequestsPerSec =
+                span > 0.0 ? window.goodputRequestsPerSec / span : 0.0;
+            if (windowLatency.count() > 0)
+                window.latencyP99 = windowLatency.percentile(99.0);
+            report.faultWindows.push_back(window);
+        }
+    }
     return report;
 }
 

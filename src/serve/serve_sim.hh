@@ -22,9 +22,11 @@
 #ifndef MOENTWINE_SERVE_SERVE_SIM_HH
 #define MOENTWINE_SERVE_SERVE_SIM_HH
 
+#include <string>
 #include <vector>
 
 #include "engine/engine.hh"
+#include "fault/fault_plan.hh"
 #include "serve/arrival.hh"
 #include "serve/request.hh"
 #include "serve/scheduler.hh"
@@ -44,6 +46,37 @@ struct SloConfig
     {
         return m.ttft() <= ttft && m.tpot() <= tpot;
     }
+};
+
+/**
+ * How the serving layer responds to faults. Active only while a
+ * non-empty FaultPlan is configured — a run with an empty plan takes
+ * the exact fault-free code path (bitwise identical output).
+ */
+struct FaultPolicy
+{
+    /**
+     * Shed the queue head once it has waited longer than
+     * shedTtftFactor × SloConfig::ttft (SLO-aware admission control:
+     * a request that already blew its TTFT bound only wastes degraded
+     * capacity). Requests too large for the degraded KV budget are
+     * always shed — they can never be admitted.
+     */
+    bool shedOnOverload = true;
+    /** Waiting-time multiple of the TTFT bound that triggers a shed. */
+    double shedTtftFactor = 2.0;
+    /**
+     * Iterations an evicted request waits before re-queueing (its KV
+     * state died with the device; the restart is not free).
+     */
+    int retryBackoffIterations = 4;
+    /** Evictions a request survives before it is Failed outright. */
+    int maxRetries = 2;
+    /**
+     * Scale the effective KV admission budget by the live-device
+     * fraction (lost devices take their cache capacity with them).
+     */
+    bool scaleKvBudget = true;
 };
 
 /** Serving-simulation configuration. */
@@ -66,6 +99,11 @@ struct ServeConfig
     int numRequests = 200;
     /** Couple the engine's gating mixture to the live batch mix. */
     bool coupleDrift = true;
+    /** Fault plan injected at iteration boundaries (empty = no faults,
+     *  and the run is bitwise identical to a build without faults). */
+    FaultPlan faults;
+    /** Degraded-operation response (ignored while faults is empty). */
+    FaultPolicy faultPolicy;
 };
 
 /** One per-iteration sample of the serving state. */
@@ -83,6 +121,27 @@ struct ServeTracePoint
     int decodeTokens = 0;
     /** Prefill tokens this iteration (per TP group). */
     int prefillTokens = 0;
+};
+
+/**
+ * Attribution window of one fault event: serving quality between the
+ * event's application and the next event (or the end of the run). The
+ * window with eventIndex -1 is the pre-fault baseline.
+ */
+struct FaultEventWindow
+{
+    /** Index into the fault plan; -1 for the pre-fault baseline. */
+    int eventIndex = -1;
+    /** Human-readable event (faults::describe), "baseline" for -1. */
+    std::string event;
+    /** Window bounds on the virtual clock (s). */
+    double startTime = 0.0, endTime = 0.0;
+    /** Requests completed / shed / failed inside the window. */
+    int completed = 0, shed = 0, failed = 0;
+    /** SLO-satisfying completions per second of window time. */
+    double goodputRequestsPerSec = 0.0;
+    /** P99 end-to-end latency of completions in the window (s). */
+    double latencyP99 = 0.0;
 };
 
 /** Aggregate serving metrics of one run. */
@@ -114,6 +173,20 @@ struct ServeReport
     double queueDepthMax = 0.0;
     /** Peak KV reservation as a fraction of the budget. */
     double kvPeakFraction = 0.0;
+
+    // Fault accounting (all zero / empty on a fault-free run).
+    /** Requests shed by admission control. */
+    int shedRequests = 0;
+    /** Requests failed after exhausting their retry budget. */
+    int failedRequests = 0;
+    /** Fault-triggered evictions across all requests. */
+    int retriesTotal = 0;
+    /** Fault-plan events applied during the run. */
+    int faultEventsApplied = 0;
+    /** Lowest live-device fraction seen during the run. */
+    double liveDeviceFractionMin = 1.0;
+    /** Per-event serving-quality attribution (baseline first). */
+    std::vector<FaultEventWindow> faultWindows;
 };
 
 /**

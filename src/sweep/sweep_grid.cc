@@ -28,7 +28,8 @@ SweepGrid::cells() const
     return axisLen(models.size()) * axisLen(systems.size()) *
         axisLen(tpDegrees.size()) * axisLen(balancers.size()) *
         axisLen(schedules.size()) * axisLen(gatings.size()) *
-        axisLen(params.size()) * axisLen(arrivals.size());
+        axisLen(params.size()) * axisLen(arrivals.size()) *
+        axisLen(faultScenarios.size());
 }
 
 SweepPoint
@@ -39,8 +40,9 @@ SweepGrid::pointAt(std::size_t index) const
     p.grid = this;
     p.index = index;
 
-    // Row-major: models outermost, arrivals innermost.
+    // Row-major: models outermost, fault scenarios innermost.
     std::size_t rest = index;
+    const std::size_t nFault = axisLen(faultScenarios.size());
     const std::size_t nArrival = axisLen(arrivals.size());
     const std::size_t nParam = axisLen(params.size());
     const std::size_t nGating = axisLen(gatings.size());
@@ -49,6 +51,8 @@ SweepGrid::pointAt(std::size_t index) const
     const std::size_t nTp = axisLen(tpDegrees.size());
     const std::size_t nSystem = axisLen(systems.size());
 
+    p.fault = axisIndex(faultScenarios.size(), rest % nFault);
+    rest /= nFault;
     p.arrival = axisIndex(arrivals.size(), rest % nArrival);
     rest /= nArrival;
     p.param = axisIndex(params.size(), rest % nParam);
@@ -69,7 +73,7 @@ SweepGrid::pointAt(std::size_t index) const
 
 std::size_t
 SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
-              int gating, int param, int arrival) const
+              int gating, int param, int arrival, int fault) const
 {
     const auto clamp = [](std::size_t size, int i) -> std::size_t {
         if (size == 0) {
@@ -92,6 +96,8 @@ SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
     index = index * axisLen(params.size()) + clamp(params.size(), param);
     index = index * axisLen(arrivals.size()) +
         clamp(arrivals.size(), arrival);
+    index = index * axisLen(faultScenarios.size()) +
+        clamp(faultScenarios.size(), fault);
     return index;
 }
 
@@ -159,6 +165,14 @@ SweepPoint::arrivalKind() const
         : ArrivalKind::Poisson;
 }
 
+FaultScenarioKind
+SweepPoint::faultScenario() const
+{
+    return fault >= 0
+        ? grid->faultScenarios[static_cast<std::size_t>(fault)]
+        : FaultScenarioKind::None;
+}
+
 uint64_t
 SweepPoint::seed(uint64_t base) const
 {
@@ -178,6 +192,11 @@ SweepPoint::seed(uint64_t base) const
     mix(static_cast<uint64_t>(static_cast<int64_t>(gating)));
     mix(static_cast<uint64_t>(static_cast<int64_t>(param)));
     mix(static_cast<uint64_t>(static_cast<int64_t>(arrival)));
+    // The fault axis joined the grid after seeds were baked into
+    // goldens: mix it only when actually swept so every pre-existing
+    // grid keeps its exact seed stream.
+    if (fault >= 0)
+        mix(static_cast<uint64_t>(static_cast<int64_t>(fault)));
     return h;
 }
 

@@ -7,7 +7,7 @@
  * A SweepGrid declares axis values; every axis left empty contributes
  * a single wildcard cell, so drivers only populate the axes their
  * figure actually sweeps. Cells are addressed by a row-major linear
- * index (models outermost, arrivals innermost) — SweepPoint carries both
+ * index (models outermost, fault scenarios innermost) — SweepPoint carries both
  * the linear index and the per-axis indices, and at() inverts the
  * mapping so drivers can render tables in any nesting order after a
  * run. Each point derives a stable 64-bit seed from its grid
@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "core/moentwine.hh"
+#include "fault/scenarios.hh"
 
 namespace moentwine {
 
@@ -49,6 +50,7 @@ struct SweepPoint
     int gating = -1;
     int param = -1;
     int arrival = -1;
+    int fault = -1;
 
     /** Model of this cell (grid must sweep models). */
     const MoEModelConfig &modelConfig() const;
@@ -77,6 +79,10 @@ struct SweepPoint
     /** Arrival process of this cell (Poisson when not swept) — the
      *  serving-simulator axis (src/serve/). */
     ArrivalKind arrivalKind() const;
+
+    /** Fault scenario of this cell (None when not swept) — the
+     *  fault-injection axis (src/fault/). */
+    FaultScenarioKind faultScenario() const;
 
     /**
      * Stable per-cell RNG seed: an FNV-1a hash of the grid coordinates
@@ -108,8 +114,11 @@ class SweepGrid
     std::vector<GatingMode> gatings;
     /** Free numeric axis (EP degree, ablation step, ...). */
     std::vector<double> params;
-    /** Arrival processes for serving sweeps (src/serve/); innermost. */
+    /** Arrival processes for serving sweeps (src/serve/). */
     std::vector<ArrivalKind> arrivals;
+    /** Fault scenarios for degraded-operation sweeps (src/fault/);
+     *  innermost. */
+    std::vector<FaultScenarioKind> faultScenarios;
 
     /** Total cell count: product over axes of max(1, axis size). */
     std::size_t cells() const;
@@ -124,7 +133,8 @@ class SweepGrid
      */
     std::size_t at(int model = -1, int system = -1, int tp = -1,
                    int balancer = -1, int schedule = -1, int gating = -1,
-                   int param = -1, int arrival = -1) const;
+                   int param = -1, int arrival = -1,
+                   int fault = -1) const;
 };
 
 /** One row of sweep output: a label plus ordered (key, value) metrics. */

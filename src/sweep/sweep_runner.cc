@@ -1,9 +1,11 @@
 #include "sweep/sweep_runner.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -11,6 +13,32 @@
 #include "common/logging.hh"
 
 namespace moentwine {
+
+namespace {
+
+/**
+ * Strict base-10 parse of a positive int: the whole string must be
+ * consumed (no "4abc"), and the value must fit. Returns -1 on any
+ * violation so callers reject loudly instead of running a sweep with
+ * an atoi-truncated job count.
+ */
+int
+parsePositiveInt(const char *text)
+{
+    if (text == nullptr || *text == '\0')
+        return -1;
+    char *end = nullptr;
+    errno = 0;
+    const long value = std::strtol(text, &end, 10);
+    if (errno == ERANGE || end == text || *end != '\0')
+        return -1;
+    if (value <= 0 ||
+        value > static_cast<long>(std::numeric_limits<int>::max()))
+        return -1;
+    return static_cast<int>(value);
+}
+
+} // namespace
 
 SweepRunner::SweepRunner(int jobs)
     : jobs_(resolveJobs(jobs))
@@ -23,10 +51,11 @@ SweepRunner::resolveJobs(int requested)
     if (requested > 0)
         return requested;
     if (const char *env = std::getenv("MOENTWINE_JOBS")) {
-        const int fromEnv = std::atoi(env);
-        if (fromEnv > 0)
-            return fromEnv;
-        warn("ignoring MOENTWINE_JOBS='" + std::string(env) + "'");
+        const int fromEnv = parsePositiveInt(env);
+        if (fromEnv <= 0)
+            fatal("MOENTWINE_JOBS expects a positive integer (got '" +
+                  std::string(env) + "')");
+        return fromEnv;
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw == 0 ? 1 : static_cast<int>(hw);
@@ -47,7 +76,7 @@ SweepRunner::jobsFromArgs(int argc, char **argv)
         } else {
             continue;
         }
-        const int jobs = std::atoi(value);
+        const int jobs = parsePositiveInt(value);
         if (jobs <= 0)
             fatal("--jobs expects a positive integer (got '" +
                   std::string(value) + "')");

@@ -81,8 +81,10 @@ class SweepRunner
 
     /**
      * Resolve a requested job count: @p requested when positive, else
-     * the MOENTWINE_JOBS environment variable when set and positive,
-     * else std::thread::hardware_concurrency() (min 1).
+     * the MOENTWINE_JOBS environment variable when set (anything but a
+     * strict positive integer is fatal() — a half-parsed "4abc" must
+     * not silently size the pool), else
+     * std::thread::hardware_concurrency() (min 1).
      */
     static int resolveJobs(int requested);
 

@@ -188,6 +188,14 @@ Topology::linkBetween(NodeId src, NodeId dst) const
     return it == index.end() ? -1 : it->second;
 }
 
+void
+Topology::invalidateRouteStorage()
+{
+    routes_.reset();
+    nextHops_.reset();
+    uncachedScratch_.clear();
+}
+
 LinkId
 Topology::addLink(NodeId src, NodeId dst, double bandwidth, double latency)
 {

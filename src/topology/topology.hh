@@ -373,6 +373,16 @@ class Topology
     /** Append a link and register it in the adjacency index. */
     LinkId addLink(NodeId src, NodeId dst, double bandwidth, double latency);
 
+    /**
+     * Drop any built route storage so the next query rebuilds it from
+     * computeRoute(). For subclasses whose link state changes after
+     * construction (the fault overlay mutates bandwidths and reroutes
+     * around failed links); a finalized base topology stays immutable.
+     * NOT thread-safe — callers must quiesce route queries first, which
+     * the engine guarantees by applying faults at iteration boundaries.
+     */
+    void invalidateRouteStorage();
+
     std::vector<Link> links_;
 
   private:

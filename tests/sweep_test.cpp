@@ -15,6 +15,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <set>
 #include <thread>
@@ -238,6 +241,152 @@ TEST(SweepRunnerTest, CellExceptionPropagates)
                                 return SweepResult{};
                             }),
                  std::runtime_error);
+}
+
+TEST(SweepRunnerTest, FailureStopsClaimingAndRethrowsAfterJoin)
+{
+    // A large grid whose very first cell throws instantly while every
+    // other cell sleeps: once the failure flag is up, workers must
+    // stop claiming new cells, so only a handful of the 256 cells can
+    // ever start. The first exception (in completion order) is
+    // rethrown on the caller after the pool joins.
+    SweepGrid grid;
+    grid.params.resize(256);
+    for (std::size_t i = 0; i < grid.params.size(); ++i)
+        grid.params[i] = static_cast<double>(i);
+
+    std::atomic<int> started{0};
+    const SweepRunner runner(4);
+    try {
+        runner.run(grid, [&](const SweepCell &cell) -> SweepResult {
+            started.fetch_add(1);
+            if (cell.point.parameter() == 0.0)
+                throw std::runtime_error("first cell exploded");
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+            SweepResult row;
+            row.label = "ok";
+            return row;
+        });
+        FAIL() << "sweep with a throwing cell must rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "first cell exploded");
+    }
+    // 4 workers, failure on the first claimed cell: in-flight cells
+    // finish but nothing new starts. Far below the 256-cell grid.
+    EXPECT_LT(started.load(), 64);
+}
+
+TEST(SweepRunnerTest, ThrowingCellLeavesNoPartialRow)
+{
+    // A cell that adds metrics and then throws: its row must not leak
+    // into any observable output — run() rethrows instead of
+    // returning, and a later identical run with the failure patched
+    // produces complete rows in every slot.
+    SweepGrid grid;
+    grid.params = {0, 1, 2};
+    const SweepRunner runner(2);
+    EXPECT_THROW(
+        runner.run(grid,
+                   [](const SweepCell &cell) -> SweepResult {
+                       SweepResult row;
+                       row.label = "half-written";
+                       row.add("metric", 1.0);
+                       if (cell.point.parameter() == 1.0)
+                           throw std::runtime_error("mid-cell");
+                       return row;
+                   }),
+        std::runtime_error);
+
+    const auto rows =
+        runner.run(grid, [](const SweepCell &cell) -> SweepResult {
+            SweepResult row;
+            row.label = "whole";
+            row.add("metric", cell.point.parameter());
+            return row;
+        });
+    ASSERT_EQ(rows.size(), 3u);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_EQ(rows[i].label, "whole");
+        EXPECT_EQ(rows[i].index, i);
+        EXPECT_EQ(rows[i].metric("metric"), static_cast<double>(i));
+    }
+}
+
+TEST(SweepRunnerJobsDeathTest, HalfParsedJobsArgIsFatal)
+{
+    const char *trailing[] = {"bench", "--jobs", "4abc"};
+    EXPECT_EXIT(
+        SweepRunner::jobsFromArgs(3, const_cast<char **>(trailing)),
+        ::testing::ExitedWithCode(1), "positive integer");
+    const char *inlineSpelling[] = {"bench", "--jobs=2x"};
+    EXPECT_EXIT(
+        SweepRunner::jobsFromArgs(2,
+                                  const_cast<char **>(inlineSpelling)),
+        ::testing::ExitedWithCode(1), "positive integer");
+    const char *negative[] = {"bench", "--jobs", "-3"};
+    EXPECT_EXIT(
+        SweepRunner::jobsFromArgs(3, const_cast<char **>(negative)),
+        ::testing::ExitedWithCode(1), "positive integer");
+    const char *empty[] = {"bench", "--jobs="};
+    EXPECT_EXIT(SweepRunner::jobsFromArgs(2, const_cast<char **>(empty)),
+                ::testing::ExitedWithCode(1), "positive integer");
+    const char *overflow[] = {"bench", "--jobs", "99999999999999999999"};
+    EXPECT_EXIT(
+        SweepRunner::jobsFromArgs(3, const_cast<char **>(overflow)),
+        ::testing::ExitedWithCode(1), "positive integer");
+}
+
+TEST(SweepRunnerJobsDeathTest, HalfParsedJobsEnvIsFatal)
+{
+    // The death-test child inherits the env var set here; resolve must
+    // reject a half-parsable value loudly instead of atoi-truncating
+    // it to 4 workers.
+    ASSERT_EQ(setenv("MOENTWINE_JOBS", "4abc", 1), 0);
+    EXPECT_EXIT(SweepRunner::resolveJobs(0),
+                ::testing::ExitedWithCode(1), "positive integer");
+    ASSERT_EQ(setenv("MOENTWINE_JOBS", "6", 1), 0);
+    EXPECT_EQ(SweepRunner::resolveJobs(0), 6);
+    // An explicit positive request bypasses the env entirely.
+    ASSERT_EQ(setenv("MOENTWINE_JOBS", "garbage", 1), 0);
+    EXPECT_EQ(SweepRunner::resolveJobs(3), 3);
+    ASSERT_EQ(unsetenv("MOENTWINE_JOBS"), 0);
+}
+
+TEST(SweepGridTest, FaultAxisIsInnermostAndPreservesSeeds)
+{
+    SweepGrid grid;
+    grid.models = {qwen3()};
+    grid.arrivals = {ArrivalKind::Poisson, ArrivalKind::Bursty};
+
+    // Seeds of the fault-free grid, before the axis exists.
+    const uint64_t seed0 = grid.pointAt(0).seed();
+    const uint64_t seed1 = grid.pointAt(1).seed();
+
+    grid.faultScenarios = {FaultScenarioKind::None,
+                           FaultScenarioKind::LinkCut,
+                           FaultScenarioKind::Cascade};
+    EXPECT_EQ(grid.cells(), 6u);
+
+    const SweepPoint p0 = grid.pointAt(0);
+    const SweepPoint p1 = grid.pointAt(1);
+    const SweepPoint p3 = grid.pointAt(3);
+    EXPECT_EQ(p0.fault, 0);
+    EXPECT_EQ(p1.fault, 1); // fault advances first (innermost)
+    EXPECT_EQ(p0.arrival, 0);
+    EXPECT_EQ(p3.arrival, 1);
+    EXPECT_EQ(p0.faultScenario(), FaultScenarioKind::None);
+    EXPECT_EQ(p1.faultScenario(), FaultScenarioKind::LinkCut);
+    EXPECT_EQ(grid.at(0, -1, -1, -1, -1, -1, -1, 1, 2), 5u);
+
+    // Retro-compat: the fault axis only joins the seed hash when the
+    // cell actually sweeps it, so pre-fault grids keep their streams.
+    SweepGrid faultFree;
+    faultFree.models = {qwen3()};
+    faultFree.arrivals = {ArrivalKind::Poisson, ArrivalKind::Bursty};
+    EXPECT_EQ(faultFree.pointAt(0).seed(), seed0);
+    EXPECT_EQ(faultFree.pointAt(1).seed(), seed1);
+    // And swept fault cells get distinct streams per scenario.
+    EXPECT_NE(grid.pointAt(0).seed(), grid.pointAt(1).seed());
 }
 
 // ------------------------------------------- shared-system safety ----
