@@ -17,6 +17,15 @@
  * scale point comparing the two route representations (build time,
  * storage bytes, per-walk overhead):
  *   "scale": {"devices": 1024, "bytes_ratio": ..., ...}
+ * and, since the sparse traffic accumulator landed (schema v4), a
+ * 1024-device dense-vs-sparse engine/reduction comparison plus a
+ * 16384-device fine-grained-expert point where only the sparse
+ * accumulator is feasible:
+ *   "traffic": {"dense_iters_per_sec": ..., "sparse_iters_per_sec":
+ *    ..., "dense_reduction_s": ..., "sparse_reduction_s": ...,
+ *    "sparse_accum_bytes": ...}
+ *   "traffic_scale": {"devices": 16384, "occupied_pairs": ...,
+ *    "bytes_ratio": ..., ...}
  *
  * Usage: perf_routing [iterations] [--jobs N]
  *        (default 300 cached / 60 baseline; jobs default to
@@ -331,11 +340,207 @@ runSweepBench(int jobs)
     return r;
 }
 
+/**
+ * Dense-vs-sparse traffic accumulation at 1024 devices: full engine
+ * throughput and the isolated routeTokens→allToAll reduction under
+ * each forced storage, plus the accumulator footprints. The two
+ * storages are bitwise equivalent (pinned by
+ * tests/traffic_accum_test.cpp), so any gap here is pure overhead.
+ */
+struct TrafficResult
+{
+    std::string bench;
+    int devices = 0;
+    double denseItersPerSec = 0.0;
+    double sparseItersPerSec = 0.0;
+    double denseReductionSeconds = 0.0;
+    double sparseReductionSeconds = 0.0;
+    std::size_t denseBytes = 0;
+    std::size_t sparseBytes = 0;
+
+    double sparseVsDense() const
+    {
+        return denseItersPerSec > 0.0
+            ? sparseItersPerSec / denseItersPerSec
+            : 0.0;
+    }
+};
+
+/**
+ * Average seconds of one aggregated routeTokens + dispatch/combine
+ * link-load reduction pass (the tiled matrix→addFlow path this PR
+ * blocks for cache locality).
+ */
+double
+reductionSeconds(const Mapping &mapping, const ExpertPlacement &placement,
+                 const std::vector<std::vector<int>> &counts,
+                 const EngineConfig &cfg, int passes)
+{
+    RoutedTraffic routed;
+    PhaseTraffic disp(mapping.topology());
+    PhaseTraffic comb(mapping.topology());
+    // Warm pass: reaches steady-state scratch capacity.
+    routeTokens(mapping, placement, counts, cfg.model.tokenBytes(),
+                cfg.retainAllGather, cfg.model.expertsActivated, routed,
+                true);
+    double checksum = 0.0;
+    const auto start = Clock::now();
+    for (int i = 0; i < passes; ++i) {
+        routeTokens(mapping, placement, counts, cfg.model.tokenBytes(),
+                    cfg.retainAllGather, cfg.model.expertsActivated,
+                    routed, true);
+        checksum += allToAllInto(routed.dispatch, disp);
+        checksum += allToAllInto(routed.combine, comb);
+    }
+    const double elapsed = secondsSince(start);
+    if (checksum < 0.0)
+        std::printf("impossible\n");
+    return elapsed / static_cast<double>(passes);
+}
+
+TrafficResult
+runTrafficBench(const EngineConfig &baseCfg, int iters)
+{
+    TrafficResult r;
+    r.bench = "wsc_4x(16x16)_her_1024dev";
+
+    MeshTopology mesh = MeshTopology::waferRow(4, 16);
+    HierarchicalErMapping her(
+        mesh, decomposeTp(4, mesh.waferRows(), mesh.waferCols()));
+    r.devices = mesh.numDevices();
+
+    EngineConfig cfg = baseCfg;
+    // Fine-grained expert regime (one expert per device, single
+    // replica, decode-sized token groups, no balancer fan-out) — the
+    // regime the sparse storage exists for, and the same one the
+    // 16384-device section measures, so the two traffic sections
+    // compare like with like across scale. Balancer interaction is
+    // pinned separately by the bitwise engine-equivalence tests.
+    cfg.balancer = BalancerKind::None;
+    cfg.model.expertsTotal = r.devices;
+    cfg.decodeTokensPerGroup = 16;
+
+    WorkloadConfig wc = cfg.workload;
+    wc.numExperts = cfg.model.expertsTotal;
+    wc.topK = cfg.model.expertsActivated;
+    WorkloadGenerator gen(wc);
+    const ExpertPlacement placement(cfg.model.expertsTotal, r.devices,
+                                    cfg.shadowSlots);
+    const auto counts =
+        gen.sampleCounts(0, 0, cfg.decodeTokensPerGroup, her.dp());
+
+    const int engineIters = std::max(10, iters / 5);
+    const int passes = std::max(5, iters / 10);
+
+    her.setTrafficStorage(TrafficStorageKind::Dense);
+    r.denseItersPerSec = engineThroughput(her, cfg, engineIters);
+    r.denseReductionSeconds =
+        reductionSeconds(her, placement, counts, cfg, passes);
+    {
+        RoutedTraffic routed;
+        routeTokens(her, placement, counts, cfg.model.tokenBytes(),
+                    cfg.retainAllGather, cfg.model.expertsActivated,
+                    routed, true);
+        r.denseBytes = routed.pairBytes.storageBytes();
+    }
+
+    her.setTrafficStorage(TrafficStorageKind::Sparse);
+    r.sparseItersPerSec = engineThroughput(her, cfg, engineIters);
+    r.sparseReductionSeconds =
+        reductionSeconds(her, placement, counts, cfg, passes);
+    {
+        RoutedTraffic routed;
+        routeTokens(her, placement, counts, cfg.model.tokenBytes(),
+                    cfg.retainAllGather, cfg.model.expertsActivated,
+                    routed, true);
+        r.sparseBytes = routed.pairBytes.storageBytes();
+    }
+
+    std::printf("%-24s dense %8.1f it/s vs sparse %8.1f it/s "
+                "(%.3fx) | reduction %.3f ms vs %.3f ms | accum "
+                "%.1f MB vs %.1f MB\n",
+                r.bench.c_str(), r.denseItersPerSec, r.sparseItersPerSec,
+                r.sparseVsDense(), r.denseReductionSeconds * 1e3,
+                r.sparseReductionSeconds * 1e3, r.denseBytes / 1e6,
+                r.sparseBytes / 1e6);
+    return r;
+}
+
+/**
+ * The 16384-device point only the sparse accumulator makes feasible:
+ * fine-grained experts (one per device) on a 4×(64×64) mesh with
+ * on-the-fly routes. The dense matrix is analytic — allocating 2.1 GB
+ * is what the sparse path exists to avoid.
+ */
+struct TrafficScaleResult
+{
+    std::string bench;
+    int devices = 0;
+    std::size_t occupiedPairs = 0;
+    std::size_t sparseBytes = 0;
+    std::size_t denseBytes = 0;
+    double sparseReductionSeconds = 0.0;
+
+    double bytesRatio() const
+    {
+        return sparseBytes > 0
+            ? static_cast<double>(denseBytes) /
+                static_cast<double>(sparseBytes)
+            : 0.0;
+    }
+};
+
+TrafficScaleResult
+runTrafficScaleBench()
+{
+    TrafficScaleResult r;
+    r.bench = "wsc_4x(64x64)_her_16384dev";
+
+    MeshTopology mesh = MeshTopology::waferRow(4, 64);
+    mesh.disableRouteCache();
+    const HierarchicalErMapping her(
+        mesh, decomposeTp(4, mesh.waferRows(), mesh.waferCols()));
+    r.devices = mesh.numDevices();
+    r.denseBytes = TrafficAccumulator::denseBytes(r.devices);
+
+    EngineConfig cfg;
+    cfg.model = qwen3();
+    cfg.model.expertsTotal = r.devices;
+    cfg.decodeTokensPerGroup = 16;
+    cfg.workload.mode = GatingMode::MixedScenario;
+
+    WorkloadConfig wc = cfg.workload;
+    wc.numExperts = cfg.model.expertsTotal;
+    wc.topK = cfg.model.expertsActivated;
+    WorkloadGenerator gen(wc);
+    const ExpertPlacement placement(cfg.model.expertsTotal, r.devices,
+                                    cfg.shadowSlots);
+    const auto counts =
+        gen.sampleCounts(0, 0, cfg.decodeTokensPerGroup, her.dp());
+
+    r.sparseReductionSeconds =
+        reductionSeconds(her, placement, counts, cfg, 2);
+    RoutedTraffic routed;
+    routeTokens(her, placement, counts, cfg.model.tokenBytes(),
+                cfg.retainAllGather, cfg.model.expertsActivated, routed,
+                true);
+    r.occupiedPairs = routed.pairBytes.occupancy();
+    r.sparseBytes = routed.pairBytes.storageBytes();
+
+    std::printf("%-24s %d devices | %zu pairs | sparse %.1f MB vs "
+                "dense %.1f MB (%.1fx) | reduction %.3f s\n",
+                r.bench.c_str(), r.devices, r.occupiedPairs,
+                r.sparseBytes / 1e6, r.denseBytes / 1e6, r.bytesRatio(),
+                r.sparseReductionSeconds);
+    return r;
+}
+
 std::string
 toJson(const std::vector<BenchResult> &results, const ScaleResult &scale,
-       const SweepBenchResult &sweep)
+       const SweepBenchResult &sweep, const TrafficResult &traffic,
+       const TrafficScaleResult &trafficScale)
 {
-    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v3\",\n"
+    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v4\",\n"
                       "  \"results\": [\n";
     char buf[640];
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -365,6 +570,29 @@ toJson(const std::vector<BenchResult> &results, const ScaleResult &scale,
         scale.nextHopBytes, scale.bytesRatio(), scale.csrBuildSeconds,
         scale.nextHopBuildSeconds, scale.nsPerWalkCsr,
         scale.nsPerWalkNextHop);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"traffic\": {\"bench\": \"%s\", \"devices\": %d, "
+        "\"dense_iters_per_sec\": %.1f, \"sparse_iters_per_sec\": %.1f, "
+        "\"sparse_vs_dense\": %.3f, \"dense_reduction_s\": %.6f, "
+        "\"sparse_reduction_s\": %.6f, \"dense_accum_bytes\": %zu, "
+        "\"sparse_accum_bytes\": %zu},\n",
+        traffic.bench.c_str(), traffic.devices, traffic.denseItersPerSec,
+        traffic.sparseItersPerSec, traffic.sparseVsDense(),
+        traffic.denseReductionSeconds, traffic.sparseReductionSeconds,
+        traffic.denseBytes, traffic.sparseBytes);
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"traffic_scale\": {\"bench\": \"%s\", \"devices\": %d, "
+        "\"occupied_pairs\": %zu, \"sparse_accum_bytes\": %zu, "
+        "\"dense_accum_bytes\": %zu, \"bytes_ratio\": %.2f, "
+        "\"sparse_reduction_s\": %.3f},\n",
+        trafficScale.bench.c_str(), trafficScale.devices,
+        trafficScale.occupiedPairs, trafficScale.sparseBytes,
+        trafficScale.denseBytes, trafficScale.bytesRatio(),
+        trafficScale.sparseReductionSeconds);
     out += buf;
     std::snprintf(
         buf, sizeof(buf),
@@ -440,12 +668,19 @@ main(int argc, char **argv)
     // CSR arena on a 1024-device multi-wafer mesh.
     const ScaleResult scale = runScaleBench();
 
+    // Traffic-accumulator trajectory: dense vs sparse at 1024 devices
+    // (throughput parity) and the sparse-only 16384-device point
+    // (memory win).
+    const TrafficResult traffic = runTrafficBench(cfg, iters);
+    const TrafficScaleResult trafficScale = runTrafficScaleBench();
+
     // Parallel-sweep trajectory: serial vs thread-pooled wall-clock of
     // a fig16-style grid (the workload every converted fig driver now
     // runs through SweepRunner).
     const SweepBenchResult sweep = runSweepBench(jobs);
 
-    const std::string json = toJson(results, scale, sweep);
+    const std::string json =
+        toJson(results, scale, sweep, traffic, trafficScale);
     std::printf("\n%s", json.c_str());
 
     if (std::FILE *f = std::fopen("BENCH_routing.json", "w")) {

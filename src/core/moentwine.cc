@@ -62,6 +62,9 @@ System::make(const SystemConfig &cfg)
       }
     }
     MOE_ASSERT(sys.mapping_ != nullptr, "platform construction failed");
+    // Traffic-accumulator policy is a pre-sharing configuration hook
+    // on the mapping (the token router reads it per routeTokens call).
+    sys.mapping_->setTrafficStorage(cfg.trafficStorage);
     // Finalize immutability: build the all-pairs route table and the
     // dispatch-source memos now, so the returned System carries no
     // cold lazy caches and can be shared as shared_ptr<const System>

@@ -82,6 +82,15 @@ struct SystemConfig
      * equivalent — see tests/next_hop_test.cpp).
      */
     RouteStorageKind routeStorage = RouteStorageKind::Auto;
+    /**
+     * Per-(src, dst) traffic-accumulator policy for the token router.
+     * Auto picks the dense byte matrix below
+     * TrafficAccumulator::kSparseAutoThreshold devices and the sparse
+     * hash at or above it; force a kind to run the same system under
+     * both representations (they are bitwise equivalent — see
+     * tests/traffic_accum_test.cpp).
+     */
+    TrafficStorageKind trafficStorage = TrafficStorageKind::Auto;
 };
 
 /**

@@ -17,7 +17,6 @@ accumulateFlows(const Mapping &mapping, const ExpertPlacement &placement,
                 double tokenBytes, bool retainAllGather, int topk,
                 RoutedTraffic &out, bool aggregate)
 {
-    const int devices = mapping.numDevices();
     const int tp = mapping.tp();
     // When the source choice ignores the shard rank, the tp identical
     // per-shard contributions collapse into one per-replica volume.
@@ -51,11 +50,7 @@ accumulateFlows(const Mapping &mapping, const ExpertPlacement &placement,
                     if (src == dev || bytes <= 0.0)
                         continue;
                     if (aggregate) {
-                        out.pairBytes[static_cast<std::size_t>(src) *
-                                          static_cast<std::size_t>(
-                                              devices) +
-                                      static_cast<std::size_t>(dev)] +=
-                            bytes;
+                        out.pairBytes.add(src, dev, bytes);
                     } else {
                         out.dispatch.push_back(Flow{src, dev, bytes});
                         out.combine.push_back(Flow{dev, src, bytes});
@@ -86,11 +81,9 @@ routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
     out.activeExpertsPerDevice.assign(static_cast<std::size_t>(devices),
                                       0);
     if (aggregate) {
-        out.pairBytes.assign(static_cast<std::size_t>(devices) *
-                                 static_cast<std::size_t>(devices),
-                             0.0);
+        out.pairBytes.reset(devices, mapping.trafficStorage());
     } else {
-        out.pairBytes.clear();
+        out.pairBytes.reset(0, TrafficStorageKind::Dense);
     }
 
     // Per-expert total loads, computed once (the active-expert scan
@@ -108,18 +101,15 @@ routeTokens(const Mapping &mapping, const ExpertPlacement &placement,
                     retainAllGather, topk, out, aggregate);
 
     if (aggregate) {
-        // Materialise at most devices² flows from the byte matrix;
-        // combine mirrors dispatch (same bytes, reversed direction).
-        std::size_t p = 0;
-        for (DeviceId s = 0; s < devices; ++s) {
-            for (DeviceId d = 0; d < devices; ++d, ++p) {
-                const double bytes = out.pairBytes[p];
-                if (bytes <= 0.0)
-                    continue;
+        // Materialise the non-zero pairs as flows in tile-major order
+        // (cache-blocked so the downstream addFlow reduction walks
+        // routes with hot next-hop rows); combine mirrors dispatch
+        // (same bytes, reversed direction).
+        out.pairBytes.forEachTiled(
+            [&out](DeviceId s, DeviceId d, double bytes) {
                 out.dispatch.push_back(Flow{s, d, bytes});
                 out.combine.push_back(Flow{d, s, bytes});
-            }
-        }
+            });
     }
 
     // Active experts per device (for weight-streaming time), answered

@@ -14,10 +14,15 @@
  *
  * Because the congestion model only depends on per-(src, dst) volumes,
  * the router aggregates the O(dp · experts · replicas · tp) logical
- * transfers into a dense devices×devices byte matrix and materialises
- * at most devices² dispatch flows (combine is the transpose). The
- * unaggregated per-triple flow list is kept behind an `aggregate`
- * toggle for equivalence tests and the no-cache perf baseline.
+ * transfers into a TrafficAccumulator — a dense devices×devices byte
+ * matrix below TrafficAccumulator::kSparseAutoThreshold devices, a
+ * sparse hash of touched pairs at/above (selected by the mapping's
+ * TrafficStorageKind; see network/traffic_accum.hh) — and materialises
+ * the non-zero pairs as dispatch flows in cache-blocked tile-major
+ * order (combine is the transpose). Both storages yield bitwise
+ * identical flow lists. The unaggregated per-triple flow list is kept
+ * behind an `aggregate` toggle for equivalence tests and the no-cache
+ * perf baseline.
  */
 
 #ifndef MOENTWINE_ENGINE_TOKEN_ROUTER_HH
@@ -28,6 +33,7 @@
 #include "balancer/placement.hh"
 #include "mapping/mapping.hh"
 #include "network/traffic.hh"
+#include "network/traffic_accum.hh"
 
 namespace moentwine {
 
@@ -43,10 +49,11 @@ struct RoutedTraffic
     /** Hosted experts receiving at least one token, per device. */
     std::vector<int> activeExpertsPerDevice;
     /**
-     * Aggregated dispatch bytes, row-major src×devices+dst (combine is
-     * the transpose). Populated only on the aggregated path.
+     * Aggregated dispatch bytes per (src, dst) pair (combine is the
+     * transpose), behind the dense/sparse TrafficStorageKind policy.
+     * Populated only on the aggregated path.
      */
-    std::vector<double> pairBytes;
+    TrafficAccumulator pairBytes;
     /** Per-expert total token counts summed over DP groups. */
     std::vector<double> expertLoads;
 };

@@ -54,14 +54,20 @@ HierarchicalErMapping::HierarchicalErMapping(const MeshTopology &mesh,
     }
 
     // Inter-wafer all-gather rings: mirrors of each within-wafer
-    // position across all wafers, in wafer order.
+    // position across all wafers, in wafer order. Wafer device lists
+    // are materialised once, not once per (position, wafer).
     const int perWafer = mesh.devicesPerWafer();
+    std::vector<std::vector<DeviceId>> waferDevs;
+    waferDevs.reserve(static_cast<std::size_t>(mesh.numWafers()));
+    for (int w = 0; w < mesh.numWafers(); ++w)
+        waferDevs.push_back(mesh.waferDevices(w));
     for (int local = 0; local < perWafer; ++local) {
         std::vector<DeviceId> ring;
         ring.reserve(static_cast<std::size_t>(mesh.numWafers()));
         for (int w = 0; w < mesh.numWafers(); ++w)
-            ring.push_back(mesh.waferDevices(w)[
-                static_cast<std::size_t>(local)]);
+            ring.push_back(
+                waferDevs[static_cast<std::size_t>(w)]
+                         [static_cast<std::size_t>(local)]);
         interRings_.push_back(std::move(ring));
     }
 
@@ -101,16 +107,18 @@ HierarchicalErMapping::dispatchSource(int group, int rank,
 DeviceId
 HierarchicalErMapping::mirrorOn(DeviceId d, int wafer) const
 {
-    const int own = mesh_.waferOf(d);
-    if (own == wafer)
-        return d;
-    const auto ownDevs = mesh_.waferDevices(own);
-    const auto targetDevs = mesh_.waferDevices(wafer);
-    for (std::size_t i = 0; i < ownDevs.size(); ++i) {
-        if (ownDevs[i] == d)
-            return targetDevs[i];
-    }
-    panic("device not found on its own wafer");
+    // The mirror shares the device's within-wafer coordinate, so it is
+    // pure coordinate arithmetic — no per-call wafer-device lists. The
+    // dispatch-source memo build issues O(dp · tp · devices) calls
+    // (268M at 16k devices), which made the old list-building linear
+    // scan the scale bottleneck.
+    const Coord c = mesh_.coordOf(d);
+    const int localRow = c.row % mesh_.waferRows();
+    const int localCol = c.col % mesh_.waferCols();
+    const int wgCols = mesh_.spec().waferGridCols;
+    return mesh_.deviceAt(
+        (wafer / wgCols) * mesh_.waferRows() + localRow,
+        (wafer % wgCols) * mesh_.waferCols() + localCol);
 }
 
 } // namespace moentwine

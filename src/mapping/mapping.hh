@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "network/collectives.hh"
+#include "network/traffic_accum.hh"
 #include "topology/topology.hh"
 
 namespace moentwine {
@@ -173,6 +174,27 @@ class Mapping
     }
 
     /**
+     * Traffic-accumulator storage policy the token router applies to
+     * this mapping's systems (see TrafficStorageKind). A configuration
+     * hook, not runtime state: System::make sets it once before the
+     * mapping is shared across threads — NOT thread-safe against
+     * concurrent routeTokens calls.
+     */
+    void setTrafficStorage(TrafficStorageKind kind)
+    {
+        trafficStorage_ = kind;
+    }
+
+    /** The configured traffic-accumulator policy (may be Auto). */
+    TrafficStorageKind trafficStorage() const { return trafficStorage_; }
+
+    /** The storage the configured policy resolves to for this system. */
+    TrafficStorageKind activeTrafficStorage() const
+    {
+        return TrafficAccumulator::resolve(trafficStorage_, numDevices());
+    }
+
+    /**
      * Whether dispatch sources are confined to the destination's FTD.
      * ER-style mappings return true: every FTD holds exactly one
      * member of every TP group, and serving from it keeps all-to-all
@@ -223,6 +245,7 @@ class Mapping
     void buildDispatchTable(bool allGatherRetained,
                             std::vector<DeviceId> &table) const;
 
+    TrafficStorageKind trafficStorage_ = TrafficStorageKind::Auto;
     std::vector<int> groupOf_;
     std::vector<int> rankOf_;
     std::vector<int> ftdIndexOf_;

@@ -73,7 +73,13 @@ class PhaseTraffic
     /** Add all flows of @p flows. */
     void addFlows(const std::vector<Flow> &flows);
 
-    /** Merge another phase's per-link volumes into this one. */
+    /**
+     * Merge another phase's per-link volumes into this one. Both
+     * phases must cover topologies with identical link id sets (same
+     * link count); merging across mismatched topologies would corrupt
+     * the volume buffer, so it aborts loudly instead (MOE_ASSERT,
+     * pinned by a death test).
+     */
     void merge(const PhaseTraffic &other);
 
     /**
@@ -136,7 +142,9 @@ class PhaseTraffic
      * Re-point the phase at another topology with the SAME link ids
      * (the fault overlay copies the base link set, so the volume
      * buffer stays valid). Clears accumulated state; the engine calls
-     * this at a fault boundary before refilling the phase.
+     * this at a fault boundary before refilling the phase. A target
+     * with a different link count cannot share the buffer and aborts
+     * loudly (MOE_ASSERT, pinned by a death test).
      */
     void retarget(const Topology &topo);
 

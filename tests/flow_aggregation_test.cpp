@@ -131,20 +131,17 @@ TEST(FlowAggregation, PairBytesMatrixMatchesFlowList)
                 wc.topK, agg, true);
 
     const int devices = mesh.numDevices();
-    ASSERT_EQ(agg.pairBytes.size(),
-              static_cast<std::size_t>(devices) * devices);
+    ASSERT_EQ(agg.pairBytes.devices(), devices);
     double matrixTotal = 0.0;
-    for (const double b : agg.pairBytes)
-        matrixTotal += b;
+    agg.pairBytes.forEachTiled(
+        [&matrixTotal](DeviceId, DeviceId, double b) { matrixTotal += b; });
     double flowTotal = 0.0;
     for (const Flow &f : agg.dispatch) {
         flowTotal += f.bytes;
-        EXPECT_DOUBLE_EQ(
-            agg.pairBytes[std::size_t(f.src) * std::size_t(devices) +
-                          std::size_t(f.dst)],
-            f.bytes);
+        EXPECT_DOUBLE_EQ(agg.pairBytes.at(f.src, f.dst), f.bytes);
     }
     EXPECT_DOUBLE_EQ(matrixTotal, flowTotal);
+    EXPECT_EQ(agg.pairBytes.occupancy(), agg.dispatch.size());
 }
 
 TEST(FlowAggregation, EngineInvariantUnderPerfToggles)
