@@ -12,17 +12,30 @@
  * and the fault summary in BENCH_fault.json; all byte-identical
  * between `--jobs 1` and `--jobs N`.
  *
- * Usage: fault_slo [requests] [--jobs N]   (default 96 requests)
+ * Observability:
+ *   --trace <path>  Chrome trace-event JSON of the representative
+ *                   worst-case cell (Cascade × Bursty × Non-invasive):
+ *                   request lifecycle spans interleaved with fault
+ *                   instants, loadable in Perfetto.
+ *   --stats <path>  merged StatRegistry JSON over all cells (per-cell
+ *                   registries merged in grid order — byte-identical
+ *                   across `--jobs 1` and `--jobs N`).
+ *
+ * Usage: fault_slo [requests] [--jobs N] [--trace P] [--stats P]
+ *        (default 96 requests)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "core/moentwine.hh"
 #include "fault/fault.hh"
+#include "obs/obs.hh"
 #include "sweep/sweep.hh"
+#include "flags.hh"
 #include "jobs.hh"
 #include "sweep_output.hh"
 
@@ -91,16 +104,17 @@ int
 main(int argc, char **argv)
 {
     int requests = 96;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--jobs") {
-            ++i; // value consumed by jobsFromArgs
-        } else if (arg.rfind("--jobs=", 0) != 0) {
-            requests = std::atoi(argv[i]);
-            if (requests <= 0)
-                fatal("fault_slo expects a positive request count");
-        }
+    const auto positionals = benchflags::positionals(argc, argv);
+    if (positionals.size() > 1)
+        fatal("fault_slo takes at most one positional (requests)");
+    if (!positionals.empty()) {
+        requests = benchflags::positiveInt(positionals.front(),
+                                           "fault_slo request count");
     }
+    const std::string tracePath =
+        benchflags::stringFlag(argc, argv, "--trace");
+    const std::string statsPath =
+        benchflags::stringFlag(argc, argv, "--stats");
 
     std::printf("== Fault/SLO: scenario × balancer × arrival "
                 "(Qwen3, 4x4 WSC+ER, %d requests) ==\n\n",
@@ -126,6 +140,21 @@ main(int argc, char **argv)
     spec.startIteration = 40;
     spec.spacing = 25;
 
+    // Per-cell stat registries, written by grid index (each worker
+    // touches only its own slots) and merged in grid order afterwards,
+    // so --stats output is byte-identical across worker counts. The
+    // trace sink attaches to exactly one cell — the representative
+    // worst case (Cascade × Bursty × Non-invasive) — so at most one
+    // worker emits into it.
+    std::vector<StatRegistry> cellStats(grid.cells());
+    TraceSink trace;
+    const auto isTracedCell = [&](const SweepPoint &p) {
+        return !tracePath.empty() &&
+            p.faultScenario() == FaultScenarioKind::Cascade &&
+            p.arrivalKind() == ArrivalKind::Bursty &&
+            p.balancerKind() == BalancerKind::NonInvasive;
+    };
+
     const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [&](const SweepCell &cell) {
         ServeConfig sc = cellConfig(cell.point, requests);
@@ -133,7 +162,10 @@ main(int argc, char **argv)
                                       cell.system->mapping().topology(),
                                       spec);
         ServeSimulator sim(cell.system->mapping(), sc);
+        if (isTracedCell(cell.point))
+            sim.setTrace(&trace);
         const ServeReport r = sim.run();
+        cellStats[cell.point.index] = sim.stats();
 
         SweepResult row;
         row.label = faultScenarioName(cell.point.faultScenario()) +
@@ -181,6 +213,21 @@ main(int argc, char **argv)
                           Table::num(r.metric("live_frac_min"), 2)});
             }
             std::printf("%s\n", t.render().c_str());
+        }
+    }
+
+    if (!tracePath.empty() && trace.writeFile(tracePath))
+        std::printf("wrote %s\n", tracePath.c_str());
+    if (!statsPath.empty()) {
+        const StatRegistry merged =
+            StatRegistry::mergedInOrder(cellStats);
+        if (std::FILE *f = std::fopen(statsPath.c_str(), "w")) {
+            const std::string json = merged.toJson();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("wrote %s\n", statsPath.c_str());
+        } else {
+            warn("could not write " + statsPath);
         }
     }
 

@@ -13,13 +13,22 @@
  * The full model × schedule × workload × strategy product runs on the
  * SweepRunner thread pool (`--jobs N`, MOENTWINE_JOBS); one WSC
  * system is built once and shared read-only by every worker.
+ *
+ * With `--trace <path>` the finished sweep re-emits as a Chrome trace:
+ * one span per cell, laid end-to-end in grid order on a synthetic
+ * timeline (span length = mean layer time × measured iterations), with
+ * the cell's metrics attached as span args — a quick visual ranking of
+ * the strategies in Perfetto.
  */
 
 #include <cstdio>
+#include <string>
 
 #include "core/moentwine.hh"
+#include "obs/obs.hh"
 #include "fig16_grid.hh"
 #include "sweep/sweep.hh"
+#include "flags.hh"
 #include "jobs.hh"
 #include "sweep_output.hh"
 
@@ -133,6 +142,31 @@ main(int argc, char **argv)
             }
         }
     }
+    const std::string tracePath =
+        benchflags::stringFlag(argc, argv, "--trace");
+    if (!tracePath.empty()) {
+        // Post-sweep emission from the row vector (grid order), so the
+        // trace is identical regardless of worker count.
+        TraceSink trace;
+        trace.processName(0, "fig16_balancing");
+        trace.threadName(0, 0, "cells");
+        double cursor = 0.0;
+        for (const SweepResult &r : rows) {
+            const double span = r.metric("layer_us") * 1e-6 *
+                benchgrid::kFig16Measured;
+            trace.span(0, 0, "cell", r.label, cursor, cursor + span,
+                       {{"a2a_us", TraceSink::num(r.metric("a2a_us"))},
+                        {"moe_us", TraceSink::num(r.metric("moe_us"))},
+                        {"migration_us",
+                         TraceSink::num(r.metric("migration_us"))},
+                        {"load_ratio",
+                         TraceSink::num(r.metric("load_ratio"))}});
+            cursor += span;
+        }
+        if (trace.writeFile(tracePath))
+            std::printf("wrote %s\n", tracePath.c_str());
+    }
+
     benchout::writeSweepFiles("fig16_balancing", rows);
     return 0;
 }

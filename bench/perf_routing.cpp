@@ -27,7 +27,15 @@
  *   "traffic_scale": {"devices": 16384, "occupied_pairs": ...,
  *    "bytes_ratio": ..., ...}
  *
- * Usage: perf_routing [iterations] [--jobs N]
+ * Since the observability layer (schema v5), each timed engine section
+ * also reports hardware counters (cycles, instructions, IPC, cache and
+ * dTLB misses) from perf_event_open — zeros with "available": false
+ * where the PMU is unreachable (containers, locked-down CI) — and the
+ * driver accepts:
+ *   --trace <path>  sim-time trace of a short observed engine run
+ *   --stats <path>  StatRegistry JSON of the same run
+ *
+ * Usage: perf_routing [iterations] [--jobs N] [--trace P] [--stats P]
  *        (default 300 cached / 60 baseline; jobs default to
  *        MOENTWINE_JOBS, then hardware_concurrency)
  */
@@ -41,7 +49,9 @@
 #include <vector>
 
 #include "core/moentwine.hh"
+#include "obs/obs.hh"
 #include "fig16_grid.hh"
+#include "flags.hh"
 #include "jobs.hh"
 #include "sweep/sweep.hh"
 
@@ -57,21 +67,30 @@ secondsSince(Clock::time_point start)
     return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Iterations/second of a fresh engine on the given platform. */
+/**
+ * Iterations/second of a fresh engine on the given platform. When
+ * @p hw is non-null the timed region also runs under the hardware
+ * counter group (zeros when the PMU is unavailable).
+ */
 double
 engineThroughput(const Mapping &mapping, const EngineConfig &cfg,
-                 int iterations)
+                 int iterations, HwCounterValues *hw = nullptr)
 {
     InferenceEngine engine(mapping, cfg);
     // Warm up: builds the route table, dispatch-source memo, and
     // steady-state scratch capacities outside the timed region.
     engine.step();
     engine.step();
+    HwCounters counters;
+    if (hw != nullptr)
+        counters.start();
     const auto start = Clock::now();
     double checksum = 0.0;
     for (int i = 0; i < iterations; ++i)
         checksum += engine.step().layerTime(cfg.pipelineStages);
     const double elapsed = secondsSince(start);
+    if (hw != nullptr)
+        *hw = counters.stop();
     if (checksum < 0.0)
         std::printf("impossible\n"); // keep the loop observable
     return static_cast<double>(iterations) / elapsed;
@@ -105,6 +124,8 @@ struct BenchResult
     double baselineNsPerRoute = 0.0;
     std::size_t csrBytes = 0;
     std::size_t nextHopBytes = 0;
+    /** Hardware counters of the cached (production) timed region. */
+    HwCounterValues hw{};
 
     double speedup() const
     {
@@ -149,10 +170,11 @@ runPlatform(const std::string &label, Topology &topo,
     BenchResult r;
     r.bench = label;
 
-    // Cached + aggregated (production) configuration.
+    // Cached + aggregated (production) configuration, with the
+    // hardware-counter group around the timed region.
     topo.enableRouteCache();
     cfg.aggregateFlows = true;
-    r.itersPerSec = engineThroughput(mapping, cfg, iters);
+    r.itersPerSec = engineThroughput(mapping, cfg, iters, &r.hw);
     r.nsPerRoute = nsPerRouteLookup(topo, 200000);
 
     // Route-storage footprint under both representations.
@@ -540,9 +562,9 @@ toJson(const std::vector<BenchResult> &results, const ScaleResult &scale,
        const SweepBenchResult &sweep, const TrafficResult &traffic,
        const TrafficScaleResult &trafficScale)
 {
-    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v4\",\n"
+    std::string out = "{\n  \"schema\": \"moentwine.bench.routing.v5\",\n"
                       "  \"results\": [\n";
-    char buf[640];
+    char buf[1024];
     for (std::size_t i = 0; i < results.size(); ++i) {
         const BenchResult &r = results[i];
         std::snprintf(
@@ -551,10 +573,19 @@ toJson(const std::vector<BenchResult> &results, const ScaleResult &scale,
             "\"ns_per_route\": %.1f, \"baseline_iters_per_sec\": %.1f, "
             "\"baseline_ns_per_route\": %.1f, \"speedup\": %.2f, "
             "\"route_storage\": {\"csr_bytes\": %zu, "
-            "\"next_hop_bytes\": %zu, \"bytes_ratio\": %.2f}}%s\n",
+            "\"next_hop_bytes\": %zu, \"bytes_ratio\": %.2f}, "
+            "\"hw\": {\"available\": %s, \"cycles\": %llu, "
+            "\"instructions\": %llu, \"ipc\": %.2f, "
+            "\"cache_misses\": %llu, \"dtlb_misses\": %llu}}%s\n",
             r.bench.c_str(), r.itersPerSec, r.nsPerRoute,
             r.baselineItersPerSec, r.baselineNsPerRoute, r.speedup(),
             r.csrBytes, r.nextHopBytes, r.bytesRatio(),
+            r.hw.available ? "true" : "false",
+            static_cast<unsigned long long>(r.hw.cycles),
+            static_cast<unsigned long long>(r.hw.instructions),
+            r.hw.ipc(),
+            static_cast<unsigned long long>(r.hw.cacheMisses),
+            static_cast<unsigned long long>(r.hw.dtlbMisses),
             i + 1 < results.size() ? "," : "");
         out += buf;
     }
@@ -614,24 +645,17 @@ int
 main(int argc, char **argv)
 {
     int iters = 300;
-    for (int i = 1; i < argc; ++i) {
-        // Flags (--jobs and any future spelling) belong to
-        // SweepRunner::jobsFromArgs below; only bare values are the
-        // iteration count.
-        if (std::strncmp(argv[i], "--", 2) == 0) {
-            if (std::strcmp(argv[i], "--jobs") == 0)
-                ++i; // skip the flag's value too
-            continue;
-        }
-        iters = std::atoi(argv[i]);
-        if (iters <= 0) {
-            std::fprintf(stderr,
-                         "usage: perf_routing [iterations>0] [--jobs N] "
-                         "(got '%s')\n",
-                         argv[i]);
-            return 2;
-        }
+    const auto positionals = benchflags::positionals(argc, argv);
+    if (positionals.size() > 1)
+        fatal("perf_routing takes at most one positional (iterations)");
+    if (!positionals.empty()) {
+        iters = benchflags::positiveInt(positionals.front(),
+                                        "perf_routing iteration count");
     }
+    const std::string tracePath =
+        benchflags::stringFlag(argc, argv, "--trace");
+    const std::string statsPath =
+        benchflags::stringFlag(argc, argv, "--stats");
     const int jobs = benchjobs::resolve(argc, argv);
 
     // Fig. 16-style serving workload: decode iterations over a drifting
@@ -678,6 +702,35 @@ main(int argc, char **argv)
     // a fig16-style grid (the workload every converted fig driver now
     // runs through SweepRunner).
     const SweepBenchResult sweep = runSweepBench(jobs);
+
+    if (!tracePath.empty() || !statsPath.empty()) {
+        // Short observed engine run on the multi-wafer mesh, outside
+        // every timed region so observation cost never lands in the
+        // reported numbers.
+        MeshTopology mesh = MeshTopology::waferRow(2, 8);
+        const HierarchicalErMapping her(mesh, ParallelismConfig{2, 4});
+        InferenceEngine engine(her, cfg);
+        StatRegistry stats;
+        TraceSink trace;
+        ObsHooks hooks;
+        hooks.stats = &stats;
+        if (!tracePath.empty())
+            hooks.trace = &trace;
+        engine.attachObs(hooks);
+        engine.run(50);
+        if (!tracePath.empty() && trace.writeFile(tracePath))
+            std::printf("wrote %s\n", tracePath.c_str());
+        if (!statsPath.empty()) {
+            if (std::FILE *f = std::fopen(statsPath.c_str(), "w")) {
+                const std::string statsJson = stats.toJson();
+                std::fwrite(statsJson.data(), 1, statsJson.size(), f);
+                std::fclose(f);
+                std::printf("wrote %s\n", statsPath.c_str());
+            } else {
+                warn("could not write " + statsPath);
+            }
+        }
+    }
 
     const std::string json =
         toJson(results, scale, sweep, traffic, trafficScale);

@@ -22,7 +22,11 @@
  *
  * Checks exit non-zero on any failure.
  *
- * Usage: scale_smoke [--jobs N] [--no-csr] [--devices N]
+ * With `--trace <path>` the smoke's short engine run re-emits as a
+ * sim-time Chrome trace (src/obs/trace.hh) — at 16k devices that is
+ * the only tracer of the sparse-traffic engine path.
+ *
+ * Usage: scale_smoke [--jobs N] [--no-csr] [--devices N] [--trace P]
  *        (N must be 4 × meshN² for integer meshN ≥ 16)
  */
 
@@ -37,6 +41,8 @@
 
 #include "common/logging.hh"
 #include "core/moentwine.hh"
+#include "obs/obs.hh"
+#include "flags.hh"
 #include "jobs.hh"
 #include "sweep/sweep.hh"
 
@@ -132,8 +138,16 @@ meshNFromDevicesArg(const char *text)
  * caching disabled and fine-grained experts (one per device), pinning
  * the sparse accumulator's memory win and the RSS ceiling.
  */
+/** Write @p trace to @p path (no-op on an empty path). */
+void
+writeTraceIfRequested(const TraceSink &trace, const std::string &path)
+{
+    if (!path.empty() && trace.writeFile(path))
+        std::printf("wrote %s\n", path.c_str());
+}
+
 int
-runSparseScalePoint(int devices, int meshN)
+runSparseScalePoint(int devices, int meshN, const std::string &tracePath)
 {
     std::printf("== scale smoke: %d-device multi-wafer mesh, sparse "
                 "traffic accumulation ==\n",
@@ -182,6 +196,12 @@ runSparseScalePoint(int devices, int meshN)
     ec.balancer = BalancerKind::None;
 
     InferenceEngine engine(her, ec);
+    TraceSink trace;
+    if (!tracePath.empty()) {
+        ObsHooks hooks;
+        hooks.trace = &trace;
+        engine.attachObs(hooks);
+    }
     for (const auto &s : engine.run(2)) {
         const double layer = s.layerTime(ec.pipelineStages);
         std::printf("iteration: layer %.6e s\n", layer);
@@ -190,6 +210,7 @@ runSparseScalePoint(int devices, int meshN)
             return 1;
         }
     }
+    writeTraceIfRequested(trace, tracePath);
 
     // The memory win itself, measured on a standalone routed batch:
     // the sparse accumulator's retained footprint vs the dense matrix
@@ -273,11 +294,13 @@ main(int argc, char **argv)
             meshN = meshNFromDevicesArg(argv[++i]);
         }
     }
+    const std::string tracePath =
+        benchflags::stringFlag(argc, argv, "--trace");
     const int devices = 4 * meshN * meshN;
 
     if (TrafficAccumulator::resolve(TrafficStorageKind::Auto, devices) ==
         TrafficStorageKind::Sparse) {
-        return runSparseScalePoint(devices, meshN);
+        return runSparseScalePoint(devices, meshN, tracePath);
     }
 
     std::printf("== scale smoke: %d-device multi-wafer mesh, "
@@ -358,6 +381,25 @@ main(int argc, char **argv)
         }
     }
     std::printf("engine smoke (jobs=%d): OK\n", pool.jobs());
+
+    if (!tracePath.empty()) {
+        // Traced re-run of one smoke cell (untimed; outside the
+        // serial-vs-pool comparison above, so it cannot perturb it).
+        EngineConfig ec;
+        ec.model = qwen3();
+        ec.schedule = SchedulingMode::DecodeOnly;
+        ec.decodeTokensPerGroup = 64;
+        ec.workload.mode = GatingMode::MixedScenario;
+        ec.balancer = BalancerKind::TopologyAware;
+        ec.beta = 2;
+        InferenceEngine engine(sys->mapping(), ec);
+        TraceSink trace;
+        ObsHooks hooks;
+        hooks.trace = &trace;
+        engine.attachObs(hooks);
+        engine.run(3);
+        writeTraceIfRequested(trace, tracePath);
+    }
 
     if (!skipCsr) {
         // The memory win itself: the CSR arena on an identical mesh

@@ -12,16 +12,26 @@
  * between `--jobs 1` and `--jobs N` (cells derive all randomness from
  * their grid coordinates).
  *
- * Usage: serve_slo [requests] [--jobs N]   (default 120 requests)
+ * Observability:
+ *   --trace <path>  Chrome trace-event JSON of the representative
+ *                   saturated cell (Bursty × 80 req/s × Non-invasive).
+ *   --stats <path>  merged StatRegistry JSON over all cells (grid-order
+ *                   merge; byte-identical across worker counts).
+ *
+ * Usage: serve_slo [requests] [--jobs N] [--trace P] [--stats P]
+ *        (default 120 requests)
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "core/moentwine.hh"
+#include "obs/obs.hh"
 #include "sweep/sweep.hh"
+#include "flags.hh"
 #include "jobs.hh"
 #include "sweep_output.hh"
 
@@ -112,16 +122,17 @@ int
 main(int argc, char **argv)
 {
     int requests = 120;
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--jobs") {
-            ++i; // value consumed by jobsFromArgs
-        } else if (arg.rfind("--jobs=", 0) != 0) {
-            requests = std::atoi(argv[i]);
-            if (requests <= 0)
-                fatal("serve_slo expects a positive request count");
-        }
+    const auto positionals = benchflags::positionals(argc, argv);
+    if (positionals.size() > 1)
+        fatal("serve_slo takes at most one positional (requests)");
+    if (!positionals.empty()) {
+        requests = benchflags::positiveInt(positionals.front(),
+                                           "serve_slo request count");
     }
+    const std::string tracePath =
+        benchflags::stringFlag(argc, argv, "--trace");
+    const std::string statsPath =
+        benchflags::stringFlag(argc, argv, "--stats");
 
     std::printf("== Serving SLO: arrival × balancer × rate "
                 "(Qwen3, 4x4 WSC+ER, %d requests) ==\n\n",
@@ -138,11 +149,34 @@ main(int argc, char **argv)
     grid.arrivals = {ArrivalKind::Poisson, ArrivalKind::Bursty,
                      ArrivalKind::Diurnal, ArrivalKind::Trace};
 
+    // Per-cell registries merged in grid order (see fault_slo); the
+    // trace sink attaches only to the saturated representative cell.
+    std::vector<StatRegistry> cellStats(grid.cells());
+    TraceSink trace;
+    const auto isTracedCell = [&](const SweepPoint &p) {
+        return !tracePath.empty() &&
+            p.arrivalKind() == ArrivalKind::Bursty &&
+            p.parameter() == 80.0 &&
+            p.balancerKind() == BalancerKind::NonInvasive;
+    };
+
     const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [&](const SweepCell &cell) {
         const ServeConfig sc = cellConfig(cell.point, requests);
         ServeSimulator sim(cell.system->mapping(), sc);
+        if (isTracedCell(cell.point))
+            sim.setTrace(&trace);
         const ServeReport r = sim.run();
+        cellStats[cell.point.index] = sim.stats();
+
+        // Queue/KV pressure now lives in the stat registry; derive the
+        // row metrics from the distributions (same per-iteration
+        // samples the deleted report fields folded, so the row bytes
+        // are unchanged).
+        const DistributionView queue =
+            sim.stats().distributionView("serve.queue.depth");
+        const DistributionView kv =
+            sim.stats().distributionView("serve.kv.reserved_tokens");
 
         SweepResult row;
         row.label = arrivalKindName(cell.point.arrivalKind()) + " r=" +
@@ -158,9 +192,10 @@ main(int argc, char **argv)
         row.add("throughput_tps", r.throughputTokensPerSec);
         row.add("goodput_rps", r.goodputRequestsPerSec);
         row.add("slo_attainment", r.sloAttainment);
-        row.add("queue_mean", r.queueDepthMean);
-        row.add("queue_max", r.queueDepthMax);
-        row.add("kv_peak_frac", r.kvPeakFraction);
+        row.add("queue_mean", queue.mean());
+        row.add("queue_max", queue.max);
+        row.add("kv_peak_frac",
+                kv.max / static_cast<double>(sc.scheduler.kvBudgetTokens));
         row.add("iterations", r.iterations);
         row.add("makespan_s", r.makespan);
         return row;
@@ -192,6 +227,21 @@ main(int argc, char **argv)
                               Table::num(r.metric("queue_max"), 0)});
             }
             std::printf("%s\n", t.render().c_str());
+        }
+    }
+
+    if (!tracePath.empty() && trace.writeFile(tracePath))
+        std::printf("wrote %s\n", tracePath.c_str());
+    if (!statsPath.empty()) {
+        const StatRegistry merged =
+            StatRegistry::mergedInOrder(cellStats);
+        if (std::FILE *f = std::fopen(statsPath.c_str(), "w")) {
+            const std::string json = merged.toJson();
+            std::fwrite(json.data(), 1, json.size(), f);
+            std::fclose(f);
+            std::printf("wrote %s\n", statsPath.c_str());
+        } else {
+            warn("could not write " + statsPath);
         }
     }
 

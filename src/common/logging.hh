@@ -8,7 +8,13 @@
  *   - fatal():   the user supplied an impossible configuration; exits
  *                with a non-zero status after printing the reason.
  *
- * warn() and inform() print non-fatal status messages to stderr.
+ * warn() and inform() print non-fatal status messages to stderr. Each
+ * message goes out as ONE stdio call carrying the complete line,
+ * newline included: POSIX stdio streams lock around every call, so
+ * concurrent sweep workers may interleave whole lines but never the
+ * characters within one (no torn "warn: ..." prefixes in parallel
+ * bench runs). Multi-line interleaving is still possible — emit one
+ * line per call.
  */
 
 #ifndef MOENTWINE_COMMON_LOGGING_HH
@@ -44,18 +50,35 @@ fatal(const std::string &msg)
     std::exit(1);
 }
 
-/** Print a non-fatal warning to stderr. */
+/**
+ * Emit one complete log line (prefix + message + newline) as a single
+ * locked stdio write, so lines from concurrent threads never
+ * interleave mid-line.
+ */
+inline void
+logLine(const char *prefix, const std::string &msg)
+{
+    std::string line;
+    line.reserve(msg.size() + 16);
+    line += prefix;
+    line += msg;
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+/** Print a non-fatal warning to stderr (thread-safe, line-atomic). */
 inline void
 warn(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logLine("warn: ", msg);
 }
 
-/** Print an informational status message to stderr. */
+/** Print an informational status message to stderr (thread-safe,
+ *  line-atomic). */
 inline void
 inform(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logLine("info: ", msg);
 }
 
 /**

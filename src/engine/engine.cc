@@ -94,6 +94,106 @@ InferenceEngine::activeTopology() const
 }
 
 void
+InferenceEngine::attachObs(const ObsHooks &obs)
+{
+    MOE_ASSERT(iteration_ == 0, "attachObs after the first step");
+    obs_ = obs;
+    traceNow_ = 0.0;
+    obsCompactionsSeen_ = 0;
+    if (obs_.stats != nullptr) {
+        StatRegistry &s = *obs_.stats;
+        obsHandles_.iterations = s.counter("engine.iterations");
+        obsHandles_.attnCompute =
+            s.distribution("engine.phase.attn_compute_s");
+        obsHandles_.allReduce = s.distribution("engine.phase.all_reduce_s");
+        obsHandles_.dispatch = s.distribution("engine.phase.dispatch_s");
+        obsHandles_.combine = s.distribution("engine.phase.combine_s");
+        obsHandles_.moe = s.distribution("engine.phase.moe_s");
+        obsHandles_.layer = s.distribution("engine.iter.layer_s");
+        obsHandles_.imbalance = s.distribution("engine.iter.imbalance");
+        obsHandles_.migPlanned = s.counter("engine.migrations.planned");
+        obsHandles_.migCompleted =
+            s.counter("engine.migrations.completed");
+        obsHandles_.migPending = s.gauge("engine.migrations.pending");
+        obsHandles_.faultEvents = s.counter("engine.fault.events");
+        obsHandles_.faultRecovery =
+            s.distribution("engine.fault.recovery_s");
+        obsHandles_.compactions =
+            s.counter("engine.traffic.compactions");
+    }
+    if (obs_.trace != nullptr) {
+        obs_.trace->processName(obs_.tracePid, "engine");
+        obs_.trace->threadName(obs_.tracePid, 0, "iterations");
+    }
+}
+
+void
+InferenceEngine::publishObs(const IterationStats &stats)
+{
+    const int stages = cfg_.pipelineStages;
+    if (obs_.stats != nullptr) {
+        StatRegistry &s = *obs_.stats;
+        s.add(obsHandles_.iterations);
+        s.observe(obsHandles_.attnCompute, stats.attnCompute);
+        s.observe(obsHandles_.allReduce, stats.allReduce);
+        s.observe(obsHandles_.dispatch, stats.dispatch);
+        s.observe(obsHandles_.combine, stats.combine);
+        s.observe(obsHandles_.moe, stats.moeTime);
+        s.observe(obsHandles_.layer, stats.layerTime(stages));
+        s.observe(obsHandles_.imbalance, stats.imbalance);
+        if (stats.migrationsPlanned > 0)
+            s.add(obsHandles_.migPlanned, stats.migrationsPlanned);
+        if (stats.migrationsCompleted > 0)
+            s.add(obsHandles_.migCompleted, stats.migrationsCompleted);
+        s.set(obsHandles_.migPending, stats.migrationsPending);
+        if (stats.faultEventsApplied > 0)
+            s.add(obsHandles_.faultEvents, stats.faultEventsApplied);
+        if (stats.faultRecoveryTime > 0.0)
+            s.observe(obsHandles_.faultRecovery, stats.faultRecoveryTime);
+        const std::uint64_t compactions =
+            routedScratch_.pairBytes.compactions();
+        if (compactions > obsCompactionsSeen_) {
+            s.add(obsHandles_.compactions,
+                  static_cast<std::int64_t>(compactions -
+                                            obsCompactionsSeen_));
+            obsCompactionsSeen_ = compactions;
+        }
+    }
+    if (obs_.trace != nullptr) {
+        TraceSink &t = *obs_.trace;
+        const int pid = obs_.tracePid;
+        double cursor = traceNow_;
+        const double attn = stats.attnPhase(stages);
+        const double moe = stats.moePhase(stages);
+        t.span(pid, 0, "engine", "attn", cursor, cursor + attn,
+               {{"iteration", TraceSink::num(
+                                  static_cast<long long>(iteration_))}});
+        cursor += attn;
+        t.span(pid, 0, "engine", "moe", cursor, cursor + moe,
+               {{"imbalance", TraceSink::num(stats.imbalance)}});
+        cursor += moe;
+        if (stats.migrationOverhead > 0.0) {
+            t.span(pid, 0, "engine", "migration", cursor,
+                   cursor + stats.migrationOverhead,
+                   {{"planned", TraceSink::num(static_cast<long long>(
+                                    stats.migrationsPlanned))}});
+            cursor += stats.migrationOverhead;
+        }
+        if (stats.faultRecoveryTime > 0.0) {
+            t.span(pid, 0, "engine", "fault_recovery", cursor,
+                   cursor + stats.faultRecoveryTime);
+            cursor += stats.faultRecoveryTime;
+        }
+        if (stats.faultEventsApplied > 0) {
+            t.instant(pid, 0, "fault", "fault_events", traceNow_,
+                      {{"applied", TraceSink::num(static_cast<long long>(
+                                       stats.faultEventsApplied))}});
+        }
+        traceNow_ = cursor;
+    }
+}
+
+void
 InferenceEngine::syncFaults(IterationStats &stats)
 {
     stats.faultEventsApplied = faults_->advanceTo(iteration_);
@@ -379,6 +479,12 @@ InferenceEngine::step(const IterationDemand &demand)
         stats.migrationsPending =
             static_cast<int>(nonInvasive_->pendingCount());
     }
+
+    // --- Observability -------------------------------------------------------
+    // Purely additive: null hooks skip both branches; attached hooks
+    // read the finished stats and never feed back into them.
+    if (obs_.stats != nullptr || obs_.trace != nullptr)
+        publishObs(stats);
 
     ++iteration_;
     return stats;

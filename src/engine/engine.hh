@@ -35,6 +35,7 @@
 #include "model/moe_config.hh"
 #include "network/collectives.hh"
 #include "network/traffic.hh"
+#include "obs/obs.hh"
 #include "workload/workload.hh"
 
 namespace moentwine {
@@ -259,9 +260,24 @@ class InferenceEngine
     /** Degraded overlay when faults are attached, else the mapping's. */
     const Topology &activeTopology() const;
 
+    /**
+     * Attach observability hooks (src/obs/). Must be called before the
+     * first step(); the referenced registry/sink must outlive the
+     * engine. Publication is purely additive — a run with hooks
+     * attached computes bitwise the same IterationStats as one
+     * without, and ObsHooks{} (all-null) detaches. Stat names live
+     * under "engine."; trace spans are emitted on the engine's own
+     * virtual clock (cumulative layerTime of the stepped iterations)
+     * under the hooks' tracePid.
+     */
+    void attachObs(const ObsHooks &obs);
+
   private:
     /** Apply the fault boundary of the current iteration. */
     void syncFaults(IterationStats &stats);
+
+    /** Publish stats/trace for the iteration just computed. */
+    void publishObs(const IterationStats &stats);
 
     /** Critical-path cost of re-homing experts off a lost device. */
     double recoveryTime(const std::vector<ExpertRehoming> &rehomed) const;
@@ -289,6 +305,30 @@ class InferenceEngine
     FaultInjector *faults_ = nullptr;
     int faultTopoEpochSeen_ = 0;
     std::size_t faultLostSeen_ = 0;
+
+    // Observability: null hooks are the guaranteed-identical fast path
+    // (one pointer test per step). Handles are resolved at attach time
+    // so the per-iteration publish is allocation- and lookup-free.
+    ObsHooks obs_{};
+    double traceNow_ = 0.0;
+    std::uint64_t obsCompactionsSeen_ = 0;
+    struct ObsHandles
+    {
+        StatRegistry::Handle iterations;
+        StatRegistry::Handle attnCompute;
+        StatRegistry::Handle allReduce;
+        StatRegistry::Handle dispatch;
+        StatRegistry::Handle combine;
+        StatRegistry::Handle moe;
+        StatRegistry::Handle layer;
+        StatRegistry::Handle imbalance;
+        StatRegistry::Handle migPlanned;
+        StatRegistry::Handle migCompleted;
+        StatRegistry::Handle migPending;
+        StatRegistry::Handle faultEvents;
+        StatRegistry::Handle faultRecovery;
+        StatRegistry::Handle compactions;
+    } obsHandles_{};
 
     // Per-iteration scratch, reused across step() calls so the hot
     // path performs no steady-state allocation. All mutable state of a

@@ -15,6 +15,18 @@ FaultInjector::FaultInjector(const Topology &base, FaultPlan plan)
     lost_.assign(devices, 0);
 }
 
+void
+FaultInjector::attachStats(StatRegistry *stats)
+{
+    MOE_ASSERT(nextEvent_ == 0, "attachStats after events applied");
+    stats_ = stats;
+    if (stats_ == nullptr)
+        return;
+    statEvents_ = stats_->counter("fault.events_applied");
+    statReroutes_ = stats_->counter("fault.link_reroutes");
+    statLost_ = stats_->counter("fault.devices_lost");
+}
+
 FaultTopology &
 FaultInjector::ensureOverlay()
 {
@@ -30,6 +42,8 @@ FaultInjector::markLost(DeviceId d)
         return;
     lost_[static_cast<std::size_t>(d)] = 1;
     lostList_.push_back(d);
+    if (stats_ != nullptr)
+        stats_->add(statLost_);
 }
 
 int
@@ -71,7 +85,11 @@ FaultInjector::advanceTo(int iteration)
         for (const DeviceId d : overlay_->isolatedDevices())
             markLost(d);
         ++topologyEpoch_;
+        if (stats_ != nullptr)
+            stats_->add(statReroutes_);
     }
+    if (applied > 0 && stats_ != nullptr)
+        stats_->add(statEvents_, applied);
     return applied;
 }
 

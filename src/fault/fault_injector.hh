@@ -25,6 +25,7 @@
 
 #include "fault/fault_plan.hh"
 #include "fault/fault_topology.hh"
+#include "obs/stat_registry.hh"
 
 namespace moentwine {
 
@@ -111,6 +112,15 @@ class FaultInjector
         return overlay_ ? overlay_->reachable(src, dst) : true;
     }
 
+    /**
+     * Attach a stat registry (src/obs/): "fault.events_applied",
+     * "fault.link_reroutes" (topology-epoch bumps) and
+     * "fault.devices_lost" publish as events apply. Must be attached
+     * before the first advanceTo(); null detaches. Publication never
+     * changes fault state.
+     */
+    void attachStats(StatRegistry *stats);
+
   private:
     FaultTopology &ensureOverlay();
     void markLost(DeviceId d);
@@ -123,6 +133,12 @@ class FaultInjector
     std::vector<double> computeFactor_;
     std::vector<char> lost_;
     std::vector<DeviceId> lostList_;
+
+    // Observability (null = no-op path).
+    StatRegistry *stats_ = nullptr;
+    StatRegistry::Handle statEvents_;
+    StatRegistry::Handle statReroutes_;
+    StatRegistry::Handle statLost_;
 };
 
 } // namespace moentwine

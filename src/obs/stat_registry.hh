@@ -1,0 +1,214 @@
+/**
+ * @file
+ * StatRegistry: a registry of named counters, gauges, and
+ * distributions the simulation layers publish into.
+ *
+ * Naming convention: hierarchical dotted lowercase paths, unit suffix
+ * last — `engine.phase.attn_s`, `serve.queue.depth`,
+ * `fault.devices_lost` (see src/obs/README.md). Names are resolved
+ * once, at attach/registration time, into O(1) handles; the per-
+ * iteration hot path is a bounds-unchecked vector index with no
+ * hashing and no allocation.
+ *
+ * Kinds and merge semantics (merge() folds a per-worker registry into
+ * an aggregate, matching slots by name):
+ *  - counter: monotone int64 sum of add() deltas. Integer addition is
+ *    associative, so merged counter totals are exact and identical
+ *    for any merge order or worker count.
+ *  - gauge: last set() wins; merge copies the other registry's value
+ *    when it was ever set. Merge gauges in a deterministic order
+ *    (e.g. grid order) when the aggregate must be reproducible.
+ *  - distribution: streaming moments (count, sum, sum of squares,
+ *    min, max) of observe() samples — allocation-free, unlike the
+ *    sample-retaining common/stats.hh Summary. Sums of doubles are
+ *    order-dependent in the last bit, so deterministic aggregates
+ *    require a deterministic merge order; the sweep drivers keep one
+ *    registry per cell and merge in grid order, which makes the
+ *    merged output byte-identical across `--jobs 1` and `--jobs N`.
+ *
+ * A registry is NOT thread-safe: the concurrency pattern is one
+ * registry per worker (or per cell), merged after the workers join —
+ * pinned under TSan by tests/obs_test.cpp.
+ */
+
+#ifndef MOENTWINE_OBS_STAT_REGISTRY_HH
+#define MOENTWINE_OBS_STAT_REGISTRY_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace moentwine {
+
+/** What a registered stat measures. */
+enum class StatKind
+{
+    Counter,      ///< monotone int64 event count
+    Gauge,        ///< last-written double level
+    Distribution, ///< streaming moments of a sample stream
+};
+
+/** Human-readable kind name ("counter" / "gauge" / "distribution"). */
+const char *statKindName(StatKind kind);
+
+/**
+ * Read-only view of a distribution's streaming moments. count == 0
+ * means no samples: mean()/stddev() are defined as 0 so report code
+ * needs no empties guard, and min/max read as 0.
+ */
+struct DistributionView
+{
+    std::int64_t count = 0;
+    double sum = 0.0;
+    double sumSquares = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    double mean() const
+    {
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+    }
+
+    /** Sample standard deviation (0 for fewer than two samples). */
+    double stddev() const;
+};
+
+class StatRegistry
+{
+  public:
+    /**
+     * Pre-resolved O(1) reference to one registered stat. Obtained
+     * from counter()/gauge()/distribution() and valid for the
+     * lifetime of the registry that issued it (handles index the
+     * slot table, which only grows). A default-constructed handle is
+     * invalid; publishing through it panics.
+     */
+    class Handle
+    {
+      public:
+        Handle() = default;
+
+        bool valid() const { return idx_ != kInvalid; }
+
+      private:
+        friend class StatRegistry;
+        static constexpr std::size_t kInvalid =
+            std::numeric_limits<std::size_t>::max();
+
+        explicit Handle(std::size_t idx) : idx_(idx) {}
+
+        std::size_t idx_ = kInvalid;
+    };
+
+    /**
+     * Resolve (registering on first use) the named stat of the given
+     * kind. Re-resolving an existing name returns the same handle;
+     * resolving it as a different kind panics — a name means one
+     * thing everywhere.
+     */
+    Handle counter(const std::string &name);
+    Handle gauge(const std::string &name);
+    Handle distribution(const std::string &name);
+
+    /** Add @p delta to a counter (hot path: one vector index). */
+    void add(Handle h, std::int64_t delta = 1)
+    {
+        slot(h, StatKind::Counter).count += delta;
+    }
+
+    /** Set a gauge's level. */
+    void set(Handle h, double value)
+    {
+        Slot &s = slot(h, StatKind::Gauge);
+        s.sum = value;
+        s.gaugeSet = true;
+    }
+
+    /** Record one distribution sample. */
+    void observe(Handle h, double sample)
+    {
+        Slot &s = slot(h, StatKind::Distribution);
+        if (s.count == 0) {
+            s.min = sample;
+            s.max = sample;
+        } else {
+            if (sample < s.min)
+                s.min = sample;
+            if (sample > s.max)
+                s.max = sample;
+        }
+        ++s.count;
+        s.sum += sample;
+        s.sumSquares += sample * sample;
+    }
+
+    /** Number of registered stats. */
+    std::size_t size() const { return slots_.size(); }
+
+    /** True when the name is registered (any kind). */
+    bool contains(const std::string &name) const
+    {
+        return index_.find(name) != index_.end();
+    }
+
+    /** Kind of a registered name; panics when absent. */
+    StatKind kindOf(const std::string &name) const;
+
+    /** Counter total; panics on a missing name or a non-counter. */
+    std::int64_t counterValue(const std::string &name) const;
+
+    /** Gauge level (0 when never set); panics as counterValue(). */
+    double gaugeValue(const std::string &name) const;
+
+    /** Distribution moments; panics as counterValue(). */
+    DistributionView distributionView(const std::string &name) const;
+
+    /**
+     * Fold @p other into this registry: counters sum, gauges copy
+     * when set in @p other, distributions combine moments. Names
+     * absent here are registered; a name present under a different
+     * kind panics.
+     */
+    void merge(const StatRegistry &other);
+
+    /**
+     * Merge a vector of per-worker/per-cell registries in vector
+     * (e.g. grid) order — the deterministic-aggregate idiom for
+     * sweeps, independent of which worker produced which registry.
+     */
+    static StatRegistry mergedInOrder(
+        const std::vector<StatRegistry> &parts);
+
+    /**
+     * Deterministic JSON document: one object per stat, keyed by
+     * name, emitted in lexicographic name order. Byte-identical for
+     * identical registry contents.
+     */
+    std::string toJson() const;
+
+  private:
+    struct Slot
+    {
+        std::string name;
+        StatKind kind = StatKind::Counter;
+        std::int64_t count = 0; ///< counter total / sample count
+        double sum = 0.0;       ///< distribution sum / gauge level
+        double sumSquares = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        bool gaugeSet = false;
+    };
+
+    Handle resolve(const std::string &name, StatKind kind);
+    Slot &slot(Handle h, StatKind kind);
+    const Slot &namedSlot(const std::string &name, StatKind kind) const;
+
+    std::vector<Slot> slots_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_OBS_STAT_REGISTRY_HH

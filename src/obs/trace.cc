@@ -1,0 +1,193 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+namespace {
+
+constexpr double kUsPerSec = 1e6;
+
+} // namespace
+
+std::string
+TraceSink::num(double value)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.12g", value);
+    return buf;
+}
+
+std::string
+TraceSink::num(long long value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", value);
+    return buf;
+}
+
+std::string
+TraceSink::str(const std::string &value)
+{
+    std::string out = "\"";
+    for (const char c : value) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned char>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+TraceSink::processName(int pid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.name = "process_name";
+    e.args.emplace_back("name", str(name));
+    meta_.push_back(std::move(e));
+}
+
+void
+TraceSink::threadName(int pid, int tid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.name = "thread_name";
+    e.args.emplace_back("name", str(name));
+    meta_.push_back(std::move(e));
+}
+
+void
+TraceSink::span(int pid, int tid, const std::string &cat,
+                const std::string &name, double startSec, double endSec,
+                Args args)
+{
+    MOE_ASSERT(endSec >= startSec, "trace span ends before it starts");
+    Event e;
+    e.ph = 'X';
+    e.pid = pid;
+    e.tid = tid;
+    e.tsUs = startSec * kUsPerSec;
+    e.durUs = (endSec - startSec) * kUsPerSec;
+    e.cat = cat;
+    e.name = name;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::instant(int pid, int tid, const std::string &cat,
+                   const std::string &name, double timeSec, Args args)
+{
+    Event e;
+    e.ph = 'i';
+    e.pid = pid;
+    e.tid = tid;
+    e.tsUs = timeSec * kUsPerSec;
+    e.cat = cat;
+    e.name = name;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceSink::counter(int pid, const std::string &name, double timeSec,
+                   Args series)
+{
+    Event e;
+    e.ph = 'C';
+    e.pid = pid;
+    e.tsUs = timeSec * kUsPerSec;
+    e.name = name;
+    e.args = std::move(series);
+    events_.push_back(std::move(e));
+}
+
+std::string
+TraceSink::toJson() const
+{
+    std::string out = "{\"traceEvents\": [\n";
+    char buf[96];
+    bool first = true;
+    const auto emit = [&](const Event &e) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += "{\"ph\": \"";
+        out += e.ph;
+        out += "\", \"pid\": " + num(static_cast<long long>(e.pid)) +
+            ", \"tid\": " + num(static_cast<long long>(e.tid));
+        if (e.ph != 'M') {
+            std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f", e.tsUs);
+            out += buf;
+        }
+        if (e.ph == 'X') {
+            std::snprintf(buf, sizeof(buf), ", \"dur\": %.3f", e.durUs);
+            out += buf;
+        }
+        if (e.ph == 'i')
+            out += ", \"s\": \"t\"";
+        if (!e.cat.empty())
+            out += ", \"cat\": " + str(e.cat);
+        out += ", \"name\": " + str(e.name);
+        if (!e.args.empty()) {
+            out += ", \"args\": {";
+            for (std::size_t i = 0; i < e.args.size(); ++i) {
+                out += str(e.args[i].first) + ": " + e.args[i].second;
+                if (i + 1 < e.args.size())
+                    out += ", ";
+            }
+            out += '}';
+        }
+        out += '}';
+    };
+    for (const Event &e : meta_)
+        emit(e);
+    for (const Event &e : events_)
+        emit(e);
+    out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+    return out;
+}
+
+bool
+TraceSink::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        warn("could not write trace file " + path);
+        return false;
+    }
+    const std::string doc = toJson();
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace moentwine

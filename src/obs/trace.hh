@@ -1,0 +1,115 @@
+/**
+ * @file
+ * TraceSink: deterministic sim-time traces in the Chrome trace-event
+ * JSON format (Perfetto-loadable: open ui.perfetto.dev and drop the
+ * file, or chrome://tracing).
+ *
+ * Every timestamp is the simulation's virtual clock (seconds,
+ * converted to the format's microseconds), never wall-clock, so a
+ * trace is a pure function of the simulated scenario: identical runs
+ * — any worker count, any machine — produce byte-identical trace
+ * files. Events are buffered in emission order and serialised by
+ * toJson()/writeFile() at the end of the run.
+ *
+ * Track model (pid/tid are free-form integers in this format):
+ *  - pid  = one simulated component ("engine", "serve", "requests"),
+ *    named via processName();
+ *  - tid  = one timeline inside it (iteration phases, one request,
+ *    fault events), named via threadName();
+ *  - span()    = complete event 'X' (a phase with a duration);
+ *  - instant() = instant event 'i' (a fault landing, a shed);
+ *  - counter() = counter event 'C' (queue depth, KV occupancy).
+ *
+ * The sink is not thread-safe; emit from one thread (the simulator
+ * loops are single-threaded per cell — give each traced run its own
+ * sink). Tracing is purely observational: attaching a sink never
+ * changes a simulation result, and a null sink is the compiled-in
+ * no-op path every layer guards with one pointer test.
+ */
+
+#ifndef MOENTWINE_OBS_TRACE_HH
+#define MOENTWINE_OBS_TRACE_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace moentwine {
+
+class TraceSink
+{
+  public:
+    /**
+     * Extra "args" payload of one event: (key, rendered JSON value)
+     * pairs. Build values with TraceSink::num()/str() so escaping and
+     * number formatting stay uniform (and therefore deterministic).
+     */
+    using Args = std::vector<std::pair<std::string, std::string>>;
+
+    /** Render a double as a JSON number (deterministic format). */
+    static std::string num(double value);
+
+    /** Render an integer as a JSON number. */
+    static std::string num(long long value);
+
+    /** Render (escape + quote) a JSON string value. */
+    static std::string str(const std::string &value);
+
+    /** Name the component track @p pid. */
+    void processName(int pid, const std::string &name);
+
+    /** Name timeline @p tid of component @p pid. */
+    void threadName(int pid, int tid, const std::string &name);
+
+    /**
+     * A complete span on [@p startSec, @p endSec] of virtual time.
+     * @p cat is the filterable category ("engine", "request", ...).
+     */
+    void span(int pid, int tid, const std::string &cat,
+              const std::string &name, double startSec, double endSec,
+              Args args = {});
+
+    /** An instantaneous (thread-scoped) event at @p timeSec. */
+    void instant(int pid, int tid, const std::string &cat,
+                 const std::string &name, double timeSec,
+                 Args args = {});
+
+    /**
+     * One sample of the counter track @p name: every (series, value)
+     * pair of @p series becomes a stacked series in the viewer.
+     */
+    void counter(int pid, const std::string &name, double timeSec,
+                 Args series);
+
+    /** Events emitted so far (metadata names included). */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /**
+     * The Chrome trace-event JSON document: metadata first, then the
+     * buffered events in emission order. Deterministic bytes.
+     */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path; warn() and false on failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char ph = 'X';
+        int pid = 0;
+        int tid = 0;
+        double tsUs = 0.0;
+        double durUs = 0.0; ///< 'X' only
+        std::string cat;
+        std::string name;
+        Args args;
+    };
+
+    std::vector<Event> meta_;   ///< 'M' process/thread names
+    std::vector<Event> events_; ///< everything else, emission order
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_OBS_TRACE_HH

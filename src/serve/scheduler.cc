@@ -38,6 +38,22 @@ ContinuousBatchScheduler::ContinuousBatchScheduler(
     }
 }
 
+void
+ContinuousBatchScheduler::attachStats(StatRegistry *stats)
+{
+    MOE_ASSERT(iteration_ == 0 && admissionOrder_.empty(),
+               "attachStats after scheduling started");
+    stats_ = stats;
+    if (stats_ == nullptr)
+        return;
+    statAdmitted_ = stats_->counter("serve.sched.admitted");
+    statCompleted_ = stats_->counter("serve.sched.completed");
+    statShed_ = stats_->counter("serve.sched.shed");
+    statFailed_ = stats_->counter("serve.sched.failed");
+    statEvictions_ = stats_->counter("serve.sched.evictions");
+    statIdle_ = stats_->counter("serve.sched.idle_iterations");
+}
+
 bool
 ContinuousBatchScheduler::done() const
 {
@@ -92,6 +108,8 @@ ContinuousBatchScheduler::admit(double now)
         running_.push_back(Running{idx, 0, 0, 0, false});
         admissionOrder_.push_back(r.id);
         metrics_[static_cast<std::size_t>(idx)].admitTime = now;
+        if (stats_ != nullptr)
+            stats_->add(statAdmitted_);
     }
 }
 
@@ -131,6 +149,8 @@ ContinuousBatchScheduler::shedHead(double now)
     m.outcome = RequestOutcome::Shed;
     m.finishTime = now;
     ++finished_;
+    if (stats_ != nullptr)
+        stats_->add(statShed_);
 }
 
 void
@@ -159,6 +179,8 @@ ContinuousBatchScheduler::evictToRetry(int requestIdx,
     m.firstTokenTime = 0.0;
     ++m.retries;
     retryQueue_.push_back(Retry{requestIdx, readyIteration});
+    if (stats_ != nullptr)
+        stats_->add(statEvictions_);
 }
 
 void
@@ -170,6 +192,8 @@ ContinuousBatchScheduler::failRunning(int requestIdx, double now)
     m.outcome = RequestOutcome::Failed;
     m.finishTime = now;
     ++finished_;
+    if (stats_ != nullptr)
+        stats_->add(statFailed_);
 }
 
 IterationDemand
@@ -238,6 +262,8 @@ ContinuousBatchScheduler::complete(double end)
             m.finishTime = end;
             kvReserved_ -= r.kvTokens();
             ++finished_;
+            if (stats_ != nullptr)
+                stats_->add(statCompleted_);
             continue; // drop from the running batch
         }
         running_[w++] = run;

@@ -107,7 +107,19 @@ class ContinuousBatchScheduler
      * so retry backoffs — measured in iterations — still elapse while
      * the platform waits for its only requests to become re-admissible.
      */
-    void tickIdle() { ++iteration_; }
+    void tickIdle()
+    {
+        ++iteration_;
+        if (stats_ != nullptr)
+            stats_->add(statIdle_);
+    }
+
+    /**
+     * Attach a stat registry (src/obs/): transition counters publish
+     * under "serve.sched.". Must be called before the first admit();
+     * null detaches. Publication never changes scheduling decisions.
+     */
+    void attachStats(StatRegistry *stats);
 
     /**
      * Lower (or restore) the effective KV admission budget. Admission
@@ -225,6 +237,16 @@ class ContinuousBatchScheduler
     int finished_ = 0;
     int iteration_ = 0; ///< complete() calls so far
     bool planPending_ = false;
+
+    // Observability (null = no-op path): handles pre-resolved at
+    // attach so transitions publish without name lookups.
+    StatRegistry *stats_ = nullptr;
+    StatRegistry::Handle statAdmitted_;
+    StatRegistry::Handle statCompleted_;
+    StatRegistry::Handle statShed_;
+    StatRegistry::Handle statFailed_;
+    StatRegistry::Handle statEvictions_;
+    StatRegistry::Handle statIdle_;
 };
 
 } // namespace moentwine

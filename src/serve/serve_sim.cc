@@ -94,6 +94,25 @@ ServeSimulator::run()
                                    arrivals.generate(cfg_.numRequests));
     InferenceEngine engine(mapping_, cfg_.engine);
 
+    // Observability: the simulator always publishes into its own
+    // registry (reading it is free; publication never perturbs the
+    // simulation). The engine gets stats only — when the serving layer
+    // drives it, all trace emission happens here, on the serve clock.
+    sched.attachStats(&stats_);
+    ObsHooks engineObs;
+    engineObs.stats = &stats_;
+    engine.attachObs(engineObs);
+    const StatRegistry::Handle queueStat =
+        stats_.distribution("serve.queue.depth");
+    const StatRegistry::Handle kvStat =
+        stats_.distribution("serve.kv.reserved_tokens");
+    if (trace_ != nullptr) {
+        trace_->processName(0, "serve");
+        trace_->threadName(0, 0, "iterations");
+        trace_->threadName(0, 1, "faults");
+        trace_->processName(1, "requests");
+    }
+
     // Fault state: null on an empty plan, which keeps the loop below
     // on the exact fault-free path (bitwise-identical output).
     std::unique_ptr<FaultInjector> injector;
@@ -104,6 +123,7 @@ ServeSimulator::run()
     if (!cfg_.faults.empty()) {
         injector = std::make_unique<FaultInjector>(mapping_.topology(),
                                                    cfg_.faults);
+        injector->attachStats(&stats_);
         engine.attachFaults(injector.get());
         residency = std::make_unique<ResidencyTracker>(
             cfg_.numRequests, mapping_.topology().numDevices());
@@ -123,8 +143,15 @@ ServeSimulator::run()
             // advanceTo is a no-op at an equal-or-older iteration).
             injector->advanceTo(sched.iterationIndex());
             while (eventTimes.size() <
-                   static_cast<std::size_t>(injector->appliedEvents()))
+                   static_cast<std::size_t>(injector->appliedEvents())) {
+                if (trace_ != nullptr) {
+                    trace_->instant(
+                        0, 1, "fault",
+                        describe(cfg_.faults.events[eventTimes.size()]),
+                        now);
+                }
                 eventTimes.push_back(now);
+            }
             report.liveDeviceFractionMin = std::min(
                 report.liveDeviceFractionMin, injector->liveFraction());
 
@@ -201,9 +228,34 @@ ServeSimulator::run()
         if (cfg_.coupleDrift)
             engine.workload().setScenarioMix(sched.scenarioTokens());
         const IterationStats stats = engine.step(demand);
+        const double iterStart = now;
         now += stats.layerTime(stages) * layers;
         sched.complete(now);
         ++report.iterations;
+        if (trace_ != nullptr) {
+            // Engine phases stretched to the serve clock: one stepped
+            // iteration stands for sparseLayers real layers.
+            double cursor = iterStart;
+            const double attn = stats.attnPhase(stages) * layers;
+            const double moe = stats.moePhase(stages) * layers;
+            trace_->span(0, 0, "serve", "attn", cursor, cursor + attn);
+            cursor += attn;
+            trace_->span(0, 0, "serve", "moe", cursor, cursor + moe,
+                         {{"imbalance",
+                           TraceSink::num(stats.imbalance)}});
+            cursor += moe;
+            if (stats.migrationOverhead > 0.0) {
+                const double mig = stats.migrationOverhead * layers;
+                trace_->span(0, 0, "serve", "migration", cursor,
+                             cursor + mig);
+                cursor += mig;
+            }
+            if (stats.faultRecoveryTime > 0.0) {
+                const double rec = stats.faultRecoveryTime * layers;
+                trace_->span(0, 0, "serve", "fault_recovery", cursor,
+                             cursor + rec);
+            }
+        }
         if (injector) {
             // Finished requests free their resident slot.
             std::vector<char> stillRunning(
@@ -226,6 +278,27 @@ ServeSimulator::run()
         point.decodeTokens = demand.decodeTokensPerGroup;
         point.prefillTokens = demand.prefillTokensPerGroup;
         report.trace.push_back(point);
+        // Same per-iteration sample order the old Summary-based report
+        // fields used, so derived means/maxes are bitwise identical.
+        stats_.observe(queueStat, point.queueDepth);
+        stats_.observe(kvStat, point.kvReserved);
+        if (trace_ != nullptr) {
+            trace_->counter(
+                0, "queue_depth", now,
+                {{"requests",
+                  TraceSink::num(
+                      static_cast<long long>(point.queueDepth))}});
+            trace_->counter(
+                0, "running", now,
+                {{"requests",
+                  TraceSink::num(
+                      static_cast<long long>(point.running))}});
+            trace_->counter(
+                0, "kv_reserved_tokens", now,
+                {{"tokens",
+                  TraceSink::num(
+                      static_cast<long long>(point.kvReserved))}});
+        }
     }
 
     report.requests = sched.metrics();
@@ -270,18 +343,44 @@ ServeSimulator::run()
         static_cast<double>(good) /
         static_cast<double>(report.requests.size());
 
-    Summary queue;
-    double kvPeak = 0.0;
-    for (const ServeTracePoint &p : report.trace) {
-        queue.add(p.queueDepth);
-        kvPeak = std::max(kvPeak, static_cast<double>(p.kvReserved));
+    if (trace_ != nullptr) {
+        // One timeline per request: queued → prefill → decode spans,
+        // with shed/failed terminations as instants.
+        for (const RequestMetrics &m : report.requests) {
+            TraceSink::Args args{
+                {"scenario", TraceSink::str(scenarioName(m.scenario))},
+                {"prompt_tokens",
+                 TraceSink::num(static_cast<long long>(m.promptTokens))},
+                {"output_tokens",
+                 TraceSink::num(static_cast<long long>(m.outputTokens))},
+                {"retries",
+                 TraceSink::num(static_cast<long long>(m.retries))}};
+            switch (m.outcome) {
+            case RequestOutcome::Completed:
+                trace_->span(1, m.id, "request", "queued",
+                             m.arrivalTime, m.admitTime, args);
+                trace_->span(1, m.id, "request", "prefill",
+                             m.admitTime, m.firstTokenTime);
+                trace_->span(1, m.id, "request", "decode",
+                             m.firstTokenTime, m.finishTime);
+                break;
+            case RequestOutcome::Shed:
+                trace_->span(1, m.id, "request", "queued",
+                             m.arrivalTime, m.finishTime, args);
+                trace_->instant(1, m.id, "request", "shed",
+                                m.finishTime);
+                break;
+            case RequestOutcome::Failed:
+                trace_->span(1, m.id, "request", "queued",
+                             m.arrivalTime, m.admitTime, args);
+                trace_->span(1, m.id, "request", "running",
+                             m.admitTime, m.finishTime);
+                trace_->instant(1, m.id, "request", "failed",
+                                m.finishTime);
+                break;
+            }
+        }
     }
-    if (queue.count() > 0) {
-        report.queueDepthMean = queue.mean();
-        report.queueDepthMax = queue.max();
-    }
-    report.kvPeakFraction =
-        kvPeak / static_cast<double>(cfg_.scheduler.kvBudgetTokens);
 
     if (injector) {
         report.faultEventsApplied = injector->appliedEvents();

@@ -169,10 +169,9 @@ struct ServeReport
     /** Fraction of requests meeting the SLO. */
     double sloAttainment = 0.0;
 
-    double queueDepthMean = 0.0;
-    double queueDepthMax = 0.0;
-    /** Peak KV reservation as a fraction of the budget. */
-    double kvPeakFraction = 0.0;
+    // Queue-depth and KV-occupancy aggregates live in the simulator's
+    // StatRegistry ("serve.queue.depth", "serve.kv.reserved_tokens")
+    // instead of bespoke report fields — read ServeSimulator::stats().
 
     // Fault accounting (all zero / empty on a fault-free run).
     /** Requests shed by admission control. */
@@ -208,9 +207,30 @@ class ServeSimulator
     /** The configuration in use (after normalisation). */
     const ServeConfig &config() const { return cfg_; }
 
+    /**
+     * Stats the run published (src/obs/): "serve.queue.depth" and
+     * "serve.kv.reserved_tokens" distributions over the per-iteration
+     * trace, the scheduler's "serve.sched.*" transition counters, the
+     * engine's "engine.*" stats, and "fault.*" when a plan is active.
+     * Empty before run().
+     */
+    const StatRegistry &stats() const { return stats_; }
+
+    /**
+     * Attach a trace sink the run emits into (null = no tracing):
+     * pid 0 "serve" carries the iteration phase spans (engine phases
+     * scaled to the serve clock), the per-iteration queue/KV counter
+     * tracks, and fault-event instants; pid 1 "requests" carries one
+     * timeline per request (queued → prefill → decode spans). Must be
+     * set before run(); the sink must outlive it.
+     */
+    void setTrace(TraceSink *trace) { trace_ = trace; }
+
   private:
     const Mapping &mapping_;
     ServeConfig cfg_;
+    StatRegistry stats_;
+    TraceSink *trace_ = nullptr;
 };
 
 } // namespace moentwine

@@ -421,7 +421,9 @@ TEST(ServeFaultTest, EmptyPlanReportIsBitwiseIdentical)
     EXPECT_EQ(a.throughputTokensPerSec, b.throughputTokensPerSec);
     EXPECT_EQ(a.goodputRequestsPerSec, b.goodputRequestsPerSec);
     EXPECT_EQ(a.sloAttainment, b.sloAttainment);
-    EXPECT_EQ(a.kvPeakFraction, b.kvPeakFraction);
+    EXPECT_EQ(
+        plain.stats().distributionView("serve.kv.reserved_tokens").max,
+        gated.stats().distributionView("serve.kv.reserved_tokens").max);
     ASSERT_EQ(a.trace.size(), b.trace.size());
     for (std::size_t i = 0; i < a.trace.size(); ++i) {
         EXPECT_EQ(a.trace[i].time, b.trace[i].time);

@@ -235,8 +235,8 @@ TEST(ServeSimulator, ServesEveryRequestAndRespectsKvBudget)
 {
     const ServeConfig sc =
         testServeConfig(ArrivalKind::Poisson, BalancerKind::None, 11);
-    const ServeReport r =
-        ServeSimulator(testSystem().mapping(), sc).run();
+    ServeSimulator sim(testSystem().mapping(), sc);
+    const ServeReport r = sim.run();
 
     ASSERT_EQ(r.requests.size(),
               static_cast<std::size_t>(sc.numRequests));
@@ -250,7 +250,11 @@ TEST(ServeSimulator, ServesEveryRequestAndRespectsKvBudget)
     }
     for (const ServeTracePoint &p : r.trace)
         EXPECT_LE(p.kvReserved, sc.scheduler.kvBudgetTokens);
-    EXPECT_LE(r.kvPeakFraction, 1.0);
+    // KV pressure now lives in the stat registry (src/obs/).
+    const DistributionView kv =
+        sim.stats().distributionView("serve.kv.reserved_tokens");
+    EXPECT_LE(kv.max,
+              static_cast<double>(sc.scheduler.kvBudgetTokens));
 }
 
 TEST(ServeSimulator, DriftCouplingChangesTheTimeline)
