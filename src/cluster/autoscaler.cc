@@ -1,0 +1,43 @@
+#include "cluster/autoscaler.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace moentwine {
+
+Autoscaler::Autoscaler(const AutoscalerConfig &cfg)
+    : cfg_(cfg),
+      nextEval_(cfg.enabled ? cfg.evalPeriodSec
+                            : std::numeric_limits<double>::infinity())
+{
+    if (!cfg_.enabled)
+        return;
+    MOE_ASSERT(cfg_.evalPeriodSec > 0.0,
+               "autoscaler evaluation period must be positive");
+    MOE_ASSERT(cfg_.spinUpDelaySec >= 0.0,
+               "negative spin-up delay");
+    MOE_ASSERT(cfg_.scaleDownThreshold < cfg_.scaleUpThreshold,
+               "autoscaler deadband is inverted");
+    MOE_ASSERT(cfg_.minReplicas >= 1,
+               "autoscaler must keep at least one replica");
+}
+
+ScaleDecision
+Autoscaler::evaluate(double avgOutstanding, int admitting,
+                     int wakeable, int starting)
+{
+    MOE_ASSERT(cfg_.enabled, "evaluate() on a disabled autoscaler");
+    nextEval_ += cfg_.evalPeriodSec;
+    if (avgOutstanding > cfg_.scaleUpThreshold && starting == 0 &&
+        wakeable > 0) {
+        return ScaleDecision::Up;
+    }
+    if (avgOutstanding < cfg_.scaleDownThreshold &&
+        admitting > cfg_.minReplicas) {
+        return ScaleDecision::Down;
+    }
+    return ScaleDecision::Hold;
+}
+
+} // namespace moentwine

@@ -1,0 +1,15 @@
+/**
+ * @file
+ * Umbrella header of the fleet-scale serving subsystem: the request
+ * router policies, the autoscaler control law, and the multi-replica
+ * FleetSimulator composed from per-replica ServeLoops.
+ */
+
+#ifndef MOENTWINE_CLUSTER_CLUSTER_HH
+#define MOENTWINE_CLUSTER_CLUSTER_HH
+
+#include "cluster/autoscaler.hh"
+#include "cluster/fleet.hh"
+#include "cluster/router.hh"
+
+#endif // MOENTWINE_CLUSTER_CLUSTER_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * RequestRouter: the fleet front door's dispatch policy — which
+ * replica gets the next request.
+ *
+ * A policy sees one ReplicaPressure snapshot per replica (in replica-id
+ * order) describing load at the replica's most recent scheduling
+ * boundary: wait-queue depth, running-batch size, and the reserved
+ * fraction of the KV budget. The signals are the scheduler's own
+ * pressure accessors (ContinuousBatchScheduler::queueDepth() /
+ * runningCount() / kvReservedFraction()), so what the router acts on
+ * is exactly what the observability layer records.
+ *
+ * Every policy is deterministic: given the same pressure sequence it
+ * produces the same dispatch sequence. PowerOfTwo draws from an
+ * explicitly seeded Rng owned by the router, so even the "random"
+ * policy is a pure function of (seed, pressure history). Ties always
+ * break toward the lowest replica id.
+ */
+
+#ifndef MOENTWINE_CLUSTER_ROUTER_HH
+#define MOENTWINE_CLUSTER_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "serve/request.hh"
+
+namespace moentwine {
+
+/** Fleet dispatch policy. */
+enum class RouterPolicy
+{
+    RoundRobin,      ///< cyclic over routable replicas
+    LeastKvPressure, ///< lowest reserved KV fraction
+    LeastQueueDepth, ///< shortest wait queue
+    PowerOfTwo,      ///< two random candidates, pick the less loaded
+    ScenarioAffinity, ///< scenario id hashed to a home replica
+};
+
+/** Human-readable policy name ("round_robin", "least_kv", ...). */
+std::string routerPolicyName(RouterPolicy policy);
+
+/** All policies, in enum order (sweep axis / bench convenience). */
+const std::vector<RouterPolicy> &allRouterPolicies();
+
+/**
+ * One replica's router-visible load at its last scheduling boundary.
+ */
+struct ReplicaPressure
+{
+    /** Fleet replica id (index into the fleet's replica vector). */
+    int replica = 0;
+    /** Requests waiting for admission. */
+    int queueDepth = 0;
+    /** Running-batch size. */
+    int runningCount = 0;
+    /** Reserved fraction of the full KV budget, in [0, 1]. */
+    double kvFraction = 0.0;
+    /** Full configured KV budget (tokens) — heterogeneous fleets
+     *  filter replicas a request cannot ever fit. */
+    int kvBudgetTokens = 0;
+    /** False while the replica is parked, starting, or draining:
+     *  the router must not dispatch to it. */
+    bool routable = false;
+
+    /** Outstanding work: queued plus running requests. */
+    int outstanding() const { return queueDepth + runningCount; }
+};
+
+/**
+ * Stateful fleet dispatch policy. One instance per fleet run.
+ */
+class RequestRouter
+{
+  public:
+    /**
+     * @param policy Dispatch policy.
+     * @param seed   Rng seed (PowerOfTwo only; other policies draw
+     *               nothing and ignore it).
+     */
+    explicit RequestRouter(RouterPolicy policy, std::uint64_t seed = 0);
+
+    /**
+     * Pick the replica for @p r among @p pressures (replica-id order,
+     * one entry per fleet replica). Only routable replicas whose full
+     * KV budget fits the request are candidates; returns -1 when no
+     * candidate exists (the fleet front door sheds the request).
+     */
+    int route(const ServeRequest &r,
+              const std::vector<ReplicaPressure> &pressures);
+
+    RouterPolicy policy() const { return policy_; }
+
+  private:
+    RouterPolicy policy_;
+    Rng rng_;                  ///< PowerOfTwo candidate draws
+    std::size_t rrCursor_ = 0; ///< RoundRobin position
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_CLUSTER_ROUTER_HH

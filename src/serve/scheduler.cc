@@ -8,34 +8,44 @@
 namespace moentwine {
 
 ContinuousBatchScheduler::ContinuousBatchScheduler(
-    const ServeSchedulerConfig &cfg, std::vector<ServeRequest> requests)
-    : cfg_(cfg), requests_(std::move(requests))
+    const ServeSchedulerConfig &cfg)
+    : cfg_(cfg)
 {
     MOE_ASSERT(cfg.kvBudgetTokens > 0, "KV budget must be positive");
     MOE_ASSERT(cfg.maxRunningRequests > 0,
                "running-request bound must be positive");
     MOE_ASSERT(cfg.prefillChunkTokens > 0,
                "prefill chunk must be positive");
-
-    metrics_.resize(requests_.size());
     scenarioTokens_.assign(allScenarios().size(), 0.0);
     kvLimit_ = cfg_.kvBudgetTokens;
-    for (std::size_t i = 0; i < requests_.size(); ++i) {
-        const ServeRequest &r = requests_[i];
-        MOE_ASSERT(r.promptTokens > 0 && r.outputTokens > 0,
-                   "request with empty prompt or output");
-        MOE_ASSERT(r.kvTokens() <= cfg.kvBudgetTokens,
-                   "request exceeds the whole KV budget");
-        MOE_ASSERT(i == 0 || requests_[i - 1].arrivalTime <=
-                                 r.arrivalTime,
-                   "requests must be arrival-sorted");
-        RequestMetrics &m = metrics_[i];
-        m.id = r.id;
-        m.scenario = r.scenario;
-        m.promptTokens = r.promptTokens;
-        m.outputTokens = r.outputTokens;
-        m.arrivalTime = r.arrivalTime;
-    }
+}
+
+ContinuousBatchScheduler::ContinuousBatchScheduler(
+    const ServeSchedulerConfig &cfg, std::vector<ServeRequest> requests)
+    : ContinuousBatchScheduler(cfg)
+{
+    for (const ServeRequest &r : requests)
+        push(r);
+}
+
+void
+ContinuousBatchScheduler::push(const ServeRequest &r)
+{
+    MOE_ASSERT(r.promptTokens > 0 && r.outputTokens > 0,
+               "request with empty prompt or output");
+    MOE_ASSERT(r.kvTokens() <= cfg_.kvBudgetTokens,
+               "request exceeds the whole KV budget");
+    MOE_ASSERT(requests_.empty() ||
+                   requests_.back().arrivalTime <= r.arrivalTime,
+               "requests must be arrival-sorted");
+    requests_.push_back(r);
+    RequestMetrics m;
+    m.id = r.id;
+    m.scenario = r.scenario;
+    m.promptTokens = r.promptTokens;
+    m.outputTokens = r.outputTokens;
+    m.arrivalTime = r.arrivalTime;
+    metrics_.push_back(m);
 }
 
 void

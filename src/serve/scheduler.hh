@@ -52,12 +52,36 @@ class ContinuousBatchScheduler
 {
   public:
     /**
+     * An initially empty stream: requests are handed over one at a
+     * time through push() as an upstream router dispatches them (the
+     * fleet front-end of src/cluster/). Pushing every request before
+     * the first admit() is exactly the vector constructor.
+     * @param cfg Scheduler configuration.
+     */
+    explicit ContinuousBatchScheduler(const ServeSchedulerConfig &cfg);
+
+    /**
      * @param cfg      Scheduler configuration.
      * @param requests Arrival-ordered request stream; copied. Every
      *                 request must individually fit the KV budget.
      */
     ContinuousBatchScheduler(const ServeSchedulerConfig &cfg,
                              std::vector<ServeRequest> requests);
+
+    /**
+     * Append the next request of the stream (arrival-ordered: its
+     * arrivalTime must not precede the last pushed request's). The
+     * request must individually fit the full KV budget. Admission
+     * only ever considers pushed requests, so a request pushed before
+     * the admit() boundary covering its arrival time behaves exactly
+     * as if it had been present from construction — the property the
+     * fleet dispatch path relies on.
+     */
+    void push(const ServeRequest &r);
+
+    /** Requests handed to the scheduler so far (pushed or given at
+     *  construction). */
+    int streamSize() const { return static_cast<int>(requests_.size()); }
 
     /** True when every request of the stream has finished. */
     bool done() const;
@@ -167,11 +191,24 @@ class ContinuousBatchScheduler
      */
     void failRunning(int requestIdx, double now);
 
+    // Pressure signals: the router-visible load of this replica (see
+    // src/cluster/router.hh). queueDepth(), runningCount(), and
+    // kvReservedFraction() are pure reads of the same counters the
+    // serving loop publishes into its StatRegistry, so a policy
+    // decision and the recorded stats can never disagree.
+
     /** Requests admitted and not yet finished. */
     int runningCount() const { return static_cast<int>(running_.size()); }
 
     /** KV tokens currently reserved by the running batch. */
     int kvReserved() const { return kvReserved_; }
+
+    /** Reserved fraction of the full configured KV budget, in [0, 1]. */
+    double kvReservedFraction() const
+    {
+        return static_cast<double>(kvReserved_) /
+            static_cast<double>(cfg_.kvBudgetTokens);
+    }
 
     /** Completed requests so far. */
     int finishedCount() const { return finished_; }

@@ -11,6 +11,7 @@
 #include "serve/arrival.hh"
 #include "serve/request.hh"
 #include "serve/scheduler.hh"
+#include "serve/serve_loop.hh"
 #include "serve/serve_sim.hh"
 
 #endif // MOENTWINE_SERVE_SERVE_HH

@@ -1,0 +1,495 @@
+#include "serve/serve_loop.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "fault/fault_injector.hh"
+
+namespace moentwine {
+
+/**
+ * Resident-device bookkeeping for fault response: every admitted
+ * request lives on one device (where its KV cache sits), assigned
+ * deterministically to the live device with the fewest residents
+ * (ties to the lowest id). When that device dies, the request dies
+ * with it and the scheduler retries or fails it. The home table grows
+ * with the pushed stream — a fleet replica does not know its final
+ * request count up front.
+ */
+class ServeLoop::ResidencyTracker
+{
+  public:
+    explicit ResidencyTracker(int numDevices)
+        : residents_(static_cast<std::size_t>(numDevices), 0)
+    {
+    }
+
+    /** Assign homes to newly admitted (home-less) running requests. */
+    void place(const std::vector<int> &running,
+               const FaultInjector &injector)
+    {
+        for (const int idx : running) {
+            if (static_cast<std::size_t>(idx) >= home_.size())
+                home_.resize(static_cast<std::size_t>(idx) + 1, -1);
+            if (home_[static_cast<std::size_t>(idx)] >= 0)
+                continue;
+            int target = -1;
+            for (std::size_t d = 0; d < residents_.size(); ++d) {
+                if (injector.deviceLost(static_cast<DeviceId>(d)))
+                    continue;
+                if (target < 0 ||
+                    residents_[d] <
+                        residents_[static_cast<std::size_t>(target)]) {
+                    target = static_cast<int>(d);
+                }
+            }
+            MOE_ASSERT(target >= 0, "no live device to home a request");
+            home_[static_cast<std::size_t>(idx)] = target;
+            ++residents_[static_cast<std::size_t>(target)];
+        }
+    }
+
+    /** Release a request's residency (eviction, failure, finish). */
+    void release(int idx)
+    {
+        if (static_cast<std::size_t>(idx) >= home_.size())
+            return;
+        int &h = home_[static_cast<std::size_t>(idx)];
+        if (h >= 0) {
+            --residents_[static_cast<std::size_t>(h)];
+            h = -1;
+        }
+    }
+
+    /** Resident device of a request; -1 when none. */
+    int homeOf(int idx) const
+    {
+        return static_cast<std::size_t>(idx) < home_.size()
+            ? home_[static_cast<std::size_t>(idx)]
+            : -1;
+    }
+
+  private:
+    std::vector<int> home_;
+    std::vector<int> residents_;
+};
+
+namespace {
+
+ServeConfig
+normalizedConfig(ServeConfig cfg)
+{
+    // The serving layer owns the iteration composition; the engine's
+    // fixed budgets are bypassed by the demand overload. Scenario
+    // affinities must be active for per-request scenario tags (and the
+    // drift coupling) to matter.
+    cfg.engine.workload.mode = GatingMode::MixedScenario;
+    return cfg;
+}
+
+} // namespace
+
+ServeLoop::ServeLoop(const Mapping &mapping, const ServeConfig &cfg,
+                     StatRegistry *stats, TraceSink *trace,
+                     int tracePidBase, const std::string &traceLabel,
+                     const std::string &requestsLabel)
+    : mapping_(mapping),
+      cfg_(normalizedConfig(cfg)),
+      sched_(cfg_.scheduler),
+      engine_(mapping, cfg_.engine),
+      stats_(stats),
+      trace_(trace),
+      pidBase_(tracePidBase),
+      layers_(static_cast<double>(cfg_.engine.model.sparseLayers)),
+      stages_(cfg_.engine.pipelineStages)
+{
+    // Observability: publication never perturbs the simulation. The
+    // engine gets stats only — when the serving layer drives it, all
+    // trace emission happens here, on the serve clock.
+    sched_.attachStats(stats_);
+    ObsHooks engineObs;
+    engineObs.stats = stats_;
+    engine_.attachObs(engineObs);
+    if (stats_ != nullptr) {
+        queueStat_ = stats_->distribution("serve.queue.depth");
+        kvStat_ = stats_->distribution("serve.kv.reserved_tokens");
+    }
+    if (trace_ != nullptr) {
+        trace_->processName(pidBase_, traceLabel);
+        trace_->threadName(pidBase_, 0, "iterations");
+        trace_->threadName(pidBase_, 1, "faults");
+        trace_->processName(pidBase_ + 1, requestsLabel);
+    }
+
+    if (!cfg_.faults.empty()) {
+        injector_ = std::make_unique<FaultInjector>(mapping_.topology(),
+                                                    cfg_.faults);
+        injector_->attachStats(stats_);
+        engine_.attachFaults(injector_.get());
+        residency_ = std::make_unique<ResidencyTracker>(
+            mapping_.topology().numDevices());
+    }
+}
+
+ServeLoop::~ServeLoop() = default;
+
+void
+ServeLoop::push(const ServeRequest &r)
+{
+    MOE_ASSERT(!finalized_, "push() after finalize()");
+    sched_.push(r);
+}
+
+double
+ServeLoop::iterationEnd() const
+{
+    MOE_ASSERT(inFlight_, "iterationEnd() with no iteration in flight");
+    return iterEnd_;
+}
+
+void
+ServeLoop::faultBoundary()
+{
+    if (!injector_)
+        return;
+    // Fault boundary, ahead of admission so this iteration's admits
+    // already see the degraded system. The engine reacts to the
+    // injector state this advance produces (its own advanceTo is a
+    // no-op at an equal-or-older iteration).
+    injector_->advanceTo(sched_.iterationIndex());
+    while (eventTimes_.size() <
+           static_cast<std::size_t>(injector_->appliedEvents())) {
+        if (trace_ != nullptr) {
+            trace_->instant(
+                pidBase_, 1, "fault",
+                describe(cfg_.faults.events[eventTimes_.size()]),
+                now_);
+        }
+        eventTimes_.push_back(now_);
+    }
+    report_.liveDeviceFractionMin = std::min(
+        report_.liveDeviceFractionMin, injector_->liveFraction());
+
+    // Requests resident on newly lost devices lose their KV state:
+    // bounded retry, then hard failure.
+    const FaultPolicy &policy = cfg_.faultPolicy;
+    const auto &lost = injector_->lostDevices();
+    while (lostSeen_ < lost.size()) {
+        const DeviceId dead = lost[lostSeen_++];
+        for (const int idx : sched_.runningRequests()) {
+            if (residency_->homeOf(idx) != dead)
+                continue;
+            residency_->release(idx);
+            const RequestMetrics &m =
+                sched_.metrics()[static_cast<std::size_t>(idx)];
+            if (m.retries < policy.maxRetries) {
+                sched_.evictToRetry(
+                    idx, sched_.iterationIndex() +
+                        policy.retryBackoffIterations);
+            } else {
+                sched_.failRunning(idx, now_);
+            }
+        }
+    }
+    if (policy.scaleKvBudget) {
+        sched_.setKvBudgetLimit(static_cast<int>(
+            cfg_.scheduler.kvBudgetTokens * injector_->liveFraction()));
+    }
+}
+
+bool
+ServeLoop::beginIteration()
+{
+    MOE_ASSERT(!inFlight_, "beginIteration() with one in flight");
+    MOE_ASSERT(!finalized_, "beginIteration() after finalize()");
+    for (;;) {
+        faultBoundary();
+        sched_.admit(now_);
+        if (injector_) {
+            // SLO-aware shedding: a queue head that can never fit the
+            // degraded KV budget, or that already blew its TTFT bound
+            // by the policy factor, is dropped — re-admitting after
+            // each shed since the head-of-line block may clear.
+            const FaultPolicy &policy = cfg_.faultPolicy;
+            for (;;) {
+                const int head = sched_.queueHead();
+                if (head < 0)
+                    break;
+                const ServeRequest &r = sched_.request(head);
+                const bool hopeless =
+                    r.kvTokens() > sched_.kvBudgetLimit();
+                const bool late = policy.shedOnOverload &&
+                    now_ - r.arrivalTime >
+                        policy.shedTtftFactor * cfg_.slo.ttft;
+                if (!hopeless && !late)
+                    break;
+                sched_.shedHead(now_);
+                sched_.admit(now_);
+            }
+            residency_->place(sched_.runningRequests(), *injector_);
+        }
+        const IterationDemand demand = sched_.plan();
+        if (demand.tokensPerGroup() == 0) {
+            if (injector_ && sched_.retryPending() > 0) {
+                // Nothing runnable but evicted requests are waiting
+                // out an iteration-counted backoff: burn an idle
+                // iteration so they become re-admissible.
+                sched_.tickIdle();
+                continue;
+            }
+            return false; // idle: the caller advances the clock
+        }
+        if (cfg_.coupleDrift)
+            engine_.workload().setScenarioMix(sched_.scenarioTokens());
+        // Step the engine eagerly: the iteration's duration is a pure
+        // function of its plan, so the end time is known at begin and
+        // a fleet can order completions against other replicas.
+        pendingStats_ = engine_.step(demand);
+        pendingDemand_ = demand;
+        iterStart_ = now_;
+        iterEnd_ = now_ + pendingStats_.layerTime(stages_) * layers_;
+        inFlight_ = true;
+        return true;
+    }
+}
+
+void
+ServeLoop::finishIteration()
+{
+    MOE_ASSERT(inFlight_, "finishIteration() with none in flight");
+    inFlight_ = false;
+    const IterationStats &stats = pendingStats_;
+    const double iterStart = iterStart_;
+    now_ = iterEnd_;
+    sched_.complete(now_);
+    ++report_.iterations;
+    if (trace_ != nullptr) {
+        // Engine phases stretched to the serve clock: one stepped
+        // iteration stands for sparseLayers real layers.
+        double cursor = iterStart;
+        const double attn = stats.attnPhase(stages_) * layers_;
+        const double moe = stats.moePhase(stages_) * layers_;
+        trace_->span(pidBase_, 0, "serve", "attn", cursor,
+                     cursor + attn);
+        cursor += attn;
+        trace_->span(pidBase_, 0, "serve", "moe", cursor, cursor + moe,
+                     {{"imbalance", TraceSink::num(stats.imbalance)}});
+        cursor += moe;
+        if (stats.migrationOverhead > 0.0) {
+            const double mig = stats.migrationOverhead * layers_;
+            trace_->span(pidBase_, 0, "serve", "migration", cursor,
+                         cursor + mig);
+            cursor += mig;
+        }
+        if (stats.faultRecoveryTime > 0.0) {
+            const double rec = stats.faultRecoveryTime * layers_;
+            trace_->span(pidBase_, 0, "serve", "fault_recovery", cursor,
+                         cursor + rec);
+        }
+    }
+    if (injector_) {
+        // Finished requests free their resident slot.
+        const std::size_t stream = sched_.metrics().size();
+        std::vector<char> stillRunning(stream, 0);
+        for (const int idx : sched_.runningRequests())
+            stillRunning[static_cast<std::size_t>(idx)] = 1;
+        for (std::size_t idx = 0; idx < stream; ++idx) {
+            if (!stillRunning[idx] &&
+                residency_->homeOf(static_cast<int>(idx)) >= 0) {
+                residency_->release(static_cast<int>(idx));
+            }
+        }
+    }
+
+    ServeTracePoint point;
+    point.time = now_;
+    point.queueDepth = sched_.queueDepth();
+    point.running = sched_.runningCount();
+    point.kvReserved = sched_.kvReserved();
+    point.decodeTokens = pendingDemand_.decodeTokensPerGroup;
+    point.prefillTokens = pendingDemand_.prefillTokensPerGroup;
+    report_.trace.push_back(point);
+    // Same per-iteration sample order the old Summary-based report
+    // fields used, so derived means/maxes are bitwise identical.
+    if (stats_ != nullptr) {
+        stats_->observe(queueStat_, point.queueDepth);
+        stats_->observe(kvStat_, point.kvReserved);
+    }
+    if (trace_ != nullptr) {
+        trace_->counter(
+            pidBase_, "queue_depth", now_,
+            {{"requests",
+              TraceSink::num(
+                  static_cast<long long>(point.queueDepth))}});
+        trace_->counter(
+            pidBase_, "running", now_,
+            {{"requests",
+              TraceSink::num(static_cast<long long>(point.running))}});
+        trace_->counter(
+            pidBase_, "kv_reserved_tokens", now_,
+            {{"tokens",
+              TraceSink::num(
+                  static_cast<long long>(point.kvReserved))}});
+    }
+}
+
+void
+ServeLoop::advanceIdle(double t)
+{
+    MOE_ASSERT(!inFlight_, "advanceIdle() with an iteration in flight");
+    MOE_ASSERT(t >= now_, "advanceIdle() must not move time backwards");
+    now_ = t;
+}
+
+ServeReport
+ServeLoop::finalize()
+{
+    MOE_ASSERT(!inFlight_, "finalize() with an iteration in flight");
+    MOE_ASSERT(!finalized_, "finalize() called twice");
+    MOE_ASSERT(allFinished(), "finalize() with unfinished requests");
+    finalized_ = true;
+
+    ServeReport report = std::move(report_);
+    report.requests = sched_.metrics();
+    report.makespan = now_;
+
+    Summary ttft;
+    Summary tpot;
+    Summary latency;
+    double outputTokens = 0.0;
+    int good = 0;
+    for (const RequestMetrics &m : report.requests) {
+        switch (m.outcome) {
+        case RequestOutcome::Completed:
+            ttft.add(m.ttft());
+            tpot.add(m.tpot());
+            latency.add(m.latency());
+            outputTokens += m.outputTokens;
+            good += cfg_.slo.met(m);
+            break;
+        case RequestOutcome::Shed:
+            ++report.shedRequests;
+            break;
+        case RequestOutcome::Failed:
+            ++report.failedRequests;
+            break;
+        }
+        report.retriesTotal += m.retries;
+    }
+    // Zero completions (all shed, or a replica the router never chose)
+    // leave the percentile fields at their zero defaults instead of
+    // indexing an empty sample vector.
+    if (ttft.count() > 0) {
+        report.ttftP50 = ttft.percentile(50.0);
+        report.ttftP95 = ttft.percentile(95.0);
+        report.ttftP99 = ttft.percentile(99.0);
+        report.tpotP50 = tpot.percentile(50.0);
+        report.tpotP95 = tpot.percentile(95.0);
+        report.tpotP99 = tpot.percentile(99.0);
+        report.latencyP50 = latency.percentile(50.0);
+        report.latencyP99 = latency.percentile(99.0);
+    }
+    if (report.makespan > 0.0) {
+        report.throughputTokensPerSec = outputTokens / report.makespan;
+        report.goodputRequestsPerSec = good / report.makespan;
+    }
+    report.sloAttainment = report.requests.empty()
+        ? 0.0
+        : static_cast<double>(good) /
+            static_cast<double>(report.requests.size());
+
+    if (trace_ != nullptr) {
+        // One timeline per request: queued → prefill → decode spans,
+        // with shed/failed terminations as instants.
+        for (const RequestMetrics &m : report.requests) {
+            TraceSink::Args args{
+                {"scenario", TraceSink::str(scenarioName(m.scenario))},
+                {"prompt_tokens",
+                 TraceSink::num(
+                     static_cast<long long>(m.promptTokens))},
+                {"output_tokens",
+                 TraceSink::num(
+                     static_cast<long long>(m.outputTokens))},
+                {"retries",
+                 TraceSink::num(static_cast<long long>(m.retries))}};
+            switch (m.outcome) {
+            case RequestOutcome::Completed:
+                trace_->span(pidBase_ + 1, m.id, "request", "queued",
+                             m.arrivalTime, m.admitTime, args);
+                trace_->span(pidBase_ + 1, m.id, "request", "prefill",
+                             m.admitTime, m.firstTokenTime);
+                trace_->span(pidBase_ + 1, m.id, "request", "decode",
+                             m.firstTokenTime, m.finishTime);
+                break;
+            case RequestOutcome::Shed:
+                trace_->span(pidBase_ + 1, m.id, "request", "queued",
+                             m.arrivalTime, m.finishTime, args);
+                trace_->instant(pidBase_ + 1, m.id, "request", "shed",
+                                m.finishTime);
+                break;
+            case RequestOutcome::Failed:
+                trace_->span(pidBase_ + 1, m.id, "request", "queued",
+                             m.arrivalTime, m.admitTime, args);
+                trace_->span(pidBase_ + 1, m.id, "request", "running",
+                             m.admitTime, m.finishTime);
+                trace_->instant(pidBase_ + 1, m.id, "request",
+                                "failed", m.finishTime);
+                break;
+            }
+        }
+    }
+
+    if (injector_) {
+        report.faultEventsApplied = injector_->appliedEvents();
+        // Per-event attribution: serving quality between consecutive
+        // event applications (the -1 window is the pre-fault baseline).
+        for (int w = -1; w < report.faultEventsApplied; ++w) {
+            FaultEventWindow window;
+            window.eventIndex = w;
+            window.event = w < 0
+                ? "baseline"
+                : describe(injector_->plan()
+                               .events[static_cast<std::size_t>(w)]);
+            window.startTime =
+                w < 0 ? 0.0 : eventTimes_[static_cast<std::size_t>(w)];
+            window.endTime = w + 1 < report.faultEventsApplied
+                ? eventTimes_[static_cast<std::size_t>(w + 1)]
+                : report.makespan;
+            Summary windowLatency;
+            for (const RequestMetrics &m : report.requests) {
+                if (m.finishTime < window.startTime ||
+                    m.finishTime >= window.endTime) {
+                    // Half-open [start, end); the final window keeps
+                    // the run-ending completions.
+                    if (!(w + 1 == report.faultEventsApplied &&
+                          m.finishTime == window.endTime))
+                        continue;
+                }
+                switch (m.outcome) {
+                case RequestOutcome::Completed:
+                    ++window.completed;
+                    windowLatency.add(m.latency());
+                    if (cfg_.slo.met(m))
+                        window.goodputRequestsPerSec += 1.0;
+                    break;
+                case RequestOutcome::Shed:
+                    ++window.shed;
+                    break;
+                case RequestOutcome::Failed:
+                    ++window.failed;
+                    break;
+                }
+            }
+            const double span = window.endTime - window.startTime;
+            window.goodputRequestsPerSec =
+                span > 0.0 ? window.goodputRequestsPerSec / span : 0.0;
+            if (windowLatency.count() > 0)
+                window.latencyP99 = windowLatency.percentile(99.0);
+            report.faultWindows.push_back(window);
+        }
+    }
+    return report;
+}
+
+} // namespace moentwine

@@ -1,78 +1,11 @@
 #include "serve/serve_sim.hh"
 
-#include <algorithm>
 #include <limits>
-#include <memory>
 
 #include "common/logging.hh"
-#include "common/stats.hh"
-#include "fault/fault_injector.hh"
+#include "serve/serve_loop.hh"
 
 namespace moentwine {
-
-namespace {
-
-/**
- * Resident-device bookkeeping for fault response: every admitted
- * request lives on one device (where its KV cache sits), assigned
- * deterministically to the live device with the fewest residents
- * (ties to the lowest id). When that device dies, the request dies
- * with it and the scheduler retries or fails it.
- */
-class ResidencyTracker
-{
-  public:
-    ResidencyTracker(int numRequests, int numDevices)
-        : home_(static_cast<std::size_t>(numRequests), -1),
-          residents_(static_cast<std::size_t>(numDevices), 0)
-    {
-    }
-
-    /** Assign homes to newly admitted (home-less) running requests. */
-    void place(const std::vector<int> &running,
-               const FaultInjector &injector)
-    {
-        for (const int idx : running) {
-            if (home_[static_cast<std::size_t>(idx)] >= 0)
-                continue;
-            int target = -1;
-            for (std::size_t d = 0; d < residents_.size(); ++d) {
-                if (injector.deviceLost(static_cast<DeviceId>(d)))
-                    continue;
-                if (target < 0 ||
-                    residents_[d] <
-                        residents_[static_cast<std::size_t>(target)]) {
-                    target = static_cast<int>(d);
-                }
-            }
-            MOE_ASSERT(target >= 0, "no live device to home a request");
-            home_[static_cast<std::size_t>(idx)] = target;
-            ++residents_[static_cast<std::size_t>(target)];
-        }
-    }
-
-    /** Release a request's residency (eviction, failure, finish). */
-    void release(int idx)
-    {
-        int &h = home_[static_cast<std::size_t>(idx)];
-        if (h >= 0) {
-            --residents_[static_cast<std::size_t>(h)];
-            h = -1;
-        }
-    }
-
-    /** Resident device of a request; -1 when none. */
-    int homeOf(int idx) const
-    {
-        return home_[static_cast<std::size_t>(idx)];
-    }
-
-  private:
-    std::vector<int> home_;
-    std::vector<int> residents_;
-};
-
-} // namespace
 
 ServeSimulator::ServeSimulator(const Mapping &mapping,
                                const ServeConfig &cfg)
@@ -89,349 +22,30 @@ ServeSimulator::ServeSimulator(const Mapping &mapping,
 ServeReport
 ServeSimulator::run()
 {
+    // The iteration machinery lives in ServeLoop (shared with the
+    // fleet front-end of src/cluster/); a bare run pushes the whole
+    // generated stream up front and drives the loop to completion.
     const ArrivalProcess arrivals(cfg_.arrival);
-    ContinuousBatchScheduler sched(cfg_.scheduler,
-                                   arrivals.generate(cfg_.numRequests));
-    InferenceEngine engine(mapping_, cfg_.engine);
+    ServeLoop loop(mapping_, cfg_, &stats_, trace_);
+    for (const ServeRequest &r : arrivals.generate(cfg_.numRequests))
+        loop.push(r);
 
-    // Observability: the simulator always publishes into its own
-    // registry (reading it is free; publication never perturbs the
-    // simulation). The engine gets stats only — when the serving layer
-    // drives it, all trace emission happens here, on the serve clock.
-    sched.attachStats(&stats_);
-    ObsHooks engineObs;
-    engineObs.stats = &stats_;
-    engine.attachObs(engineObs);
-    const StatRegistry::Handle queueStat =
-        stats_.distribution("serve.queue.depth");
-    const StatRegistry::Handle kvStat =
-        stats_.distribution("serve.kv.reserved_tokens");
-    if (trace_ != nullptr) {
-        trace_->processName(0, "serve");
-        trace_->threadName(0, 0, "iterations");
-        trace_->threadName(0, 1, "faults");
-        trace_->processName(1, "requests");
-    }
-
-    // Fault state: null on an empty plan, which keeps the loop below
-    // on the exact fault-free path (bitwise-identical output).
-    std::unique_ptr<FaultInjector> injector;
-    std::unique_ptr<ResidencyTracker> residency;
-    std::vector<double> eventTimes; // virtual time each event applied
-    std::size_t lostSeen = 0;
-    ServeReport report;
-    if (!cfg_.faults.empty()) {
-        injector = std::make_unique<FaultInjector>(mapping_.topology(),
-                                                   cfg_.faults);
-        injector->attachStats(&stats_);
-        engine.attachFaults(injector.get());
-        residency = std::make_unique<ResidencyTracker>(
-            cfg_.numRequests, mapping_.topology().numDevices());
-    }
-
-    const double layers =
-        static_cast<double>(cfg_.engine.model.sparseLayers);
-    const int stages = cfg_.engine.pipelineStages;
-    const FaultPolicy &policy = cfg_.faultPolicy;
-
-    double now = 0.0;
-    while (!sched.done()) {
-        if (injector) {
-            // Fault boundary, ahead of admission so this iteration's
-            // admits already see the degraded system. The engine reacts
-            // to the injector state this advance produces (its own
-            // advanceTo is a no-op at an equal-or-older iteration).
-            injector->advanceTo(sched.iterationIndex());
-            while (eventTimes.size() <
-                   static_cast<std::size_t>(injector->appliedEvents())) {
-                if (trace_ != nullptr) {
-                    trace_->instant(
-                        0, 1, "fault",
-                        describe(cfg_.faults.events[eventTimes.size()]),
-                        now);
-                }
-                eventTimes.push_back(now);
-            }
-            report.liveDeviceFractionMin = std::min(
-                report.liveDeviceFractionMin, injector->liveFraction());
-
-            // Requests resident on newly lost devices lose their KV
-            // state: bounded retry, then hard failure.
-            const auto &lost = injector->lostDevices();
-            while (lostSeen < lost.size()) {
-                const DeviceId dead = lost[lostSeen++];
-                for (const int idx : sched.runningRequests()) {
-                    if (residency->homeOf(idx) != dead)
-                        continue;
-                    residency->release(idx);
-                    const RequestMetrics &m = sched.metrics()
-                        [static_cast<std::size_t>(idx)];
-                    if (m.retries < policy.maxRetries) {
-                        sched.evictToRetry(
-                            idx, sched.iterationIndex() +
-                                policy.retryBackoffIterations);
-                    } else {
-                        sched.failRunning(idx, now);
-                    }
-                }
-            }
-            if (policy.scaleKvBudget) {
-                sched.setKvBudgetLimit(static_cast<int>(
-                    cfg_.scheduler.kvBudgetTokens *
-                    injector->liveFraction()));
-            }
-        }
-        sched.admit(now);
-        if (injector) {
-            // SLO-aware shedding: a queue head that can never fit the
-            // degraded KV budget, or that already blew its TTFT bound
-            // by the policy factor, is dropped — re-admitting after
-            // each shed since the head-of-line block may clear.
-            for (;;) {
-                const int head = sched.queueHead();
-                if (head < 0)
-                    break;
-                const ServeRequest &r = sched.request(head);
-                const bool hopeless =
-                    r.kvTokens() > sched.kvBudgetLimit();
-                const bool late = policy.shedOnOverload &&
-                    now - r.arrivalTime >
-                        policy.shedTtftFactor * cfg_.slo.ttft;
-                if (!hopeless && !late)
-                    break;
-                sched.shedHead(now);
-                sched.admit(now);
-            }
-            residency->place(sched.runningRequests(), *injector);
-        }
-        const IterationDemand demand = sched.plan();
-        if (demand.tokensPerGroup() == 0) {
-            if (injector && sched.retryPending() > 0) {
-                // Nothing runnable but evicted requests are waiting
-                // out an iteration-counted backoff: burn an idle
-                // iteration so they become re-admissible.
-                sched.tickIdle();
-                continue;
-            }
-            // Nothing runnable: the platform idles until the next
-            // arrival. The scheduler guarantees a queued request is
-            // admissible once the batch drains (each fits the budget
-            // alone), so arrivals must remain — otherwise the stream
-            // would already be done.
-            const double next = sched.nextArrival();
-            MOE_ASSERT(next > now && next <
-                           std::numeric_limits<double>::infinity(),
-                       "idle serving loop with no future arrival");
-            now = next;
+    while (!loop.allFinished()) {
+        if (loop.beginIteration()) {
+            loop.finishIteration();
             continue;
         }
-        if (cfg_.coupleDrift)
-            engine.workload().setScenarioMix(sched.scenarioTokens());
-        const IterationStats stats = engine.step(demand);
-        const double iterStart = now;
-        now += stats.layerTime(stages) * layers;
-        sched.complete(now);
-        ++report.iterations;
-        if (trace_ != nullptr) {
-            // Engine phases stretched to the serve clock: one stepped
-            // iteration stands for sparseLayers real layers.
-            double cursor = iterStart;
-            const double attn = stats.attnPhase(stages) * layers;
-            const double moe = stats.moePhase(stages) * layers;
-            trace_->span(0, 0, "serve", "attn", cursor, cursor + attn);
-            cursor += attn;
-            trace_->span(0, 0, "serve", "moe", cursor, cursor + moe,
-                         {{"imbalance",
-                           TraceSink::num(stats.imbalance)}});
-            cursor += moe;
-            if (stats.migrationOverhead > 0.0) {
-                const double mig = stats.migrationOverhead * layers;
-                trace_->span(0, 0, "serve", "migration", cursor,
-                             cursor + mig);
-                cursor += mig;
-            }
-            if (stats.faultRecoveryTime > 0.0) {
-                const double rec = stats.faultRecoveryTime * layers;
-                trace_->span(0, 0, "serve", "fault_recovery", cursor,
-                             cursor + rec);
-            }
-        }
-        if (injector) {
-            // Finished requests free their resident slot.
-            std::vector<char> stillRunning(
-                static_cast<std::size_t>(cfg_.numRequests), 0);
-            for (const int idx : sched.runningRequests())
-                stillRunning[static_cast<std::size_t>(idx)] = 1;
-            for (int idx = 0; idx < cfg_.numRequests; ++idx) {
-                if (!stillRunning[static_cast<std::size_t>(idx)] &&
-                    residency->homeOf(idx) >= 0) {
-                    residency->release(idx);
-                }
-            }
-        }
-
-        ServeTracePoint point;
-        point.time = now;
-        point.queueDepth = sched.queueDepth();
-        point.running = sched.runningCount();
-        point.kvReserved = sched.kvReserved();
-        point.decodeTokens = demand.decodeTokensPerGroup;
-        point.prefillTokens = demand.prefillTokensPerGroup;
-        report.trace.push_back(point);
-        // Same per-iteration sample order the old Summary-based report
-        // fields used, so derived means/maxes are bitwise identical.
-        stats_.observe(queueStat, point.queueDepth);
-        stats_.observe(kvStat, point.kvReserved);
-        if (trace_ != nullptr) {
-            trace_->counter(
-                0, "queue_depth", now,
-                {{"requests",
-                  TraceSink::num(
-                      static_cast<long long>(point.queueDepth))}});
-            trace_->counter(
-                0, "running", now,
-                {{"requests",
-                  TraceSink::num(
-                      static_cast<long long>(point.running))}});
-            trace_->counter(
-                0, "kv_reserved_tokens", now,
-                {{"tokens",
-                  TraceSink::num(
-                      static_cast<long long>(point.kvReserved))}});
-        }
+        // Nothing runnable: the platform idles until the next arrival.
+        // The scheduler guarantees a queued request is admissible once
+        // the batch drains (each fits the budget alone), so arrivals
+        // must remain — otherwise the stream would already be done.
+        const double next = loop.nextArrival();
+        MOE_ASSERT(next > loop.now() &&
+                       next < std::numeric_limits<double>::infinity(),
+                   "idle serving loop with no future arrival");
+        loop.advanceIdle(next);
     }
-
-    report.requests = sched.metrics();
-    report.makespan = now;
-
-    Summary ttft;
-    Summary tpot;
-    Summary latency;
-    double outputTokens = 0.0;
-    int good = 0;
-    for (const RequestMetrics &m : report.requests) {
-        switch (m.outcome) {
-        case RequestOutcome::Completed:
-            ttft.add(m.ttft());
-            tpot.add(m.tpot());
-            latency.add(m.latency());
-            outputTokens += m.outputTokens;
-            good += cfg_.slo.met(m);
-            break;
-        case RequestOutcome::Shed:
-            ++report.shedRequests;
-            break;
-        case RequestOutcome::Failed:
-            ++report.failedRequests;
-            break;
-        }
-        report.retriesTotal += m.retries;
-    }
-    report.ttftP50 = ttft.percentile(50.0);
-    report.ttftP95 = ttft.percentile(95.0);
-    report.ttftP99 = ttft.percentile(99.0);
-    report.tpotP50 = tpot.percentile(50.0);
-    report.tpotP95 = tpot.percentile(95.0);
-    report.tpotP99 = tpot.percentile(99.0);
-    report.latencyP50 = latency.percentile(50.0);
-    report.latencyP99 = latency.percentile(99.0);
-    if (report.makespan > 0.0) {
-        report.throughputTokensPerSec = outputTokens / report.makespan;
-        report.goodputRequestsPerSec = good / report.makespan;
-    }
-    report.sloAttainment =
-        static_cast<double>(good) /
-        static_cast<double>(report.requests.size());
-
-    if (trace_ != nullptr) {
-        // One timeline per request: queued → prefill → decode spans,
-        // with shed/failed terminations as instants.
-        for (const RequestMetrics &m : report.requests) {
-            TraceSink::Args args{
-                {"scenario", TraceSink::str(scenarioName(m.scenario))},
-                {"prompt_tokens",
-                 TraceSink::num(static_cast<long long>(m.promptTokens))},
-                {"output_tokens",
-                 TraceSink::num(static_cast<long long>(m.outputTokens))},
-                {"retries",
-                 TraceSink::num(static_cast<long long>(m.retries))}};
-            switch (m.outcome) {
-            case RequestOutcome::Completed:
-                trace_->span(1, m.id, "request", "queued",
-                             m.arrivalTime, m.admitTime, args);
-                trace_->span(1, m.id, "request", "prefill",
-                             m.admitTime, m.firstTokenTime);
-                trace_->span(1, m.id, "request", "decode",
-                             m.firstTokenTime, m.finishTime);
-                break;
-            case RequestOutcome::Shed:
-                trace_->span(1, m.id, "request", "queued",
-                             m.arrivalTime, m.finishTime, args);
-                trace_->instant(1, m.id, "request", "shed",
-                                m.finishTime);
-                break;
-            case RequestOutcome::Failed:
-                trace_->span(1, m.id, "request", "queued",
-                             m.arrivalTime, m.admitTime, args);
-                trace_->span(1, m.id, "request", "running",
-                             m.admitTime, m.finishTime);
-                trace_->instant(1, m.id, "request", "failed",
-                                m.finishTime);
-                break;
-            }
-        }
-    }
-
-    if (injector) {
-        report.faultEventsApplied = injector->appliedEvents();
-        // Per-event attribution: serving quality between consecutive
-        // event applications (the -1 window is the pre-fault baseline).
-        for (int w = -1; w < report.faultEventsApplied; ++w) {
-            FaultEventWindow window;
-            window.eventIndex = w;
-            window.event = w < 0
-                ? "baseline"
-                : describe(injector->plan()
-                               .events[static_cast<std::size_t>(w)]);
-            window.startTime =
-                w < 0 ? 0.0 : eventTimes[static_cast<std::size_t>(w)];
-            window.endTime = w + 1 < report.faultEventsApplied
-                ? eventTimes[static_cast<std::size_t>(w + 1)]
-                : report.makespan;
-            Summary windowLatency;
-            for (const RequestMetrics &m : report.requests) {
-                if (m.finishTime < window.startTime ||
-                    m.finishTime >= window.endTime) {
-                    // Half-open [start, end); the final window keeps
-                    // the run-ending completions.
-                    if (!(w + 1 == report.faultEventsApplied &&
-                          m.finishTime == window.endTime))
-                        continue;
-                }
-                switch (m.outcome) {
-                case RequestOutcome::Completed:
-                    ++window.completed;
-                    windowLatency.add(m.latency());
-                    if (cfg_.slo.met(m))
-                        window.goodputRequestsPerSec += 1.0;
-                    break;
-                case RequestOutcome::Shed:
-                    ++window.shed;
-                    break;
-                case RequestOutcome::Failed:
-                    ++window.failed;
-                    break;
-                }
-            }
-            const double span = window.endTime - window.startTime;
-            window.goodputRequestsPerSec =
-                span > 0.0 ? window.goodputRequestsPerSec / span : 0.0;
-            if (windowLatency.count() > 0)
-                window.latencyP99 = windowLatency.percentile(99.0);
-            report.faultWindows.push_back(window);
-        }
-    }
-    return report;
+    return loop.finalize();
 }
 
 } // namespace moentwine

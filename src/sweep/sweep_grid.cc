@@ -29,7 +29,8 @@ SweepGrid::cells() const
         axisLen(tpDegrees.size()) * axisLen(balancers.size()) *
         axisLen(schedules.size()) * axisLen(gatings.size()) *
         axisLen(params.size()) * axisLen(arrivals.size()) *
-        axisLen(faultScenarios.size());
+        axisLen(faultScenarios.size()) * axisLen(replicaCounts.size()) *
+        axisLen(routers.size());
 }
 
 SweepPoint
@@ -40,8 +41,10 @@ SweepGrid::pointAt(std::size_t index) const
     p.grid = this;
     p.index = index;
 
-    // Row-major: models outermost, fault scenarios innermost.
+    // Row-major: models outermost, router policies innermost.
     std::size_t rest = index;
+    const std::size_t nRouter = axisLen(routers.size());
+    const std::size_t nReplicas = axisLen(replicaCounts.size());
     const std::size_t nFault = axisLen(faultScenarios.size());
     const std::size_t nArrival = axisLen(arrivals.size());
     const std::size_t nParam = axisLen(params.size());
@@ -51,6 +54,10 @@ SweepGrid::pointAt(std::size_t index) const
     const std::size_t nTp = axisLen(tpDegrees.size());
     const std::size_t nSystem = axisLen(systems.size());
 
+    p.router = axisIndex(routers.size(), rest % nRouter);
+    rest /= nRouter;
+    p.replicas = axisIndex(replicaCounts.size(), rest % nReplicas);
+    rest /= nReplicas;
     p.fault = axisIndex(faultScenarios.size(), rest % nFault);
     rest /= nFault;
     p.arrival = axisIndex(arrivals.size(), rest % nArrival);
@@ -73,7 +80,8 @@ SweepGrid::pointAt(std::size_t index) const
 
 std::size_t
 SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
-              int gating, int param, int arrival, int fault) const
+              int gating, int param, int arrival, int fault, int replicas,
+              int router) const
 {
     const auto clamp = [](std::size_t size, int i) -> std::size_t {
         if (size == 0) {
@@ -98,6 +106,9 @@ SweepGrid::at(int model, int system, int tp, int balancer, int schedule,
         clamp(arrivals.size(), arrival);
     index = index * axisLen(faultScenarios.size()) +
         clamp(faultScenarios.size(), fault);
+    index = index * axisLen(replicaCounts.size()) +
+        clamp(replicaCounts.size(), replicas);
+    index = index * axisLen(routers.size()) + clamp(routers.size(), router);
     return index;
 }
 
@@ -173,6 +184,21 @@ SweepPoint::faultScenario() const
         : FaultScenarioKind::None;
 }
 
+int
+SweepPoint::replicaCount() const
+{
+    return replicas >= 0
+        ? grid->replicaCounts[static_cast<std::size_t>(replicas)]
+        : 1;
+}
+
+RouterPolicy
+SweepPoint::routerPolicy() const
+{
+    return router >= 0 ? grid->routers[static_cast<std::size_t>(router)]
+                       : RouterPolicy::RoundRobin;
+}
+
 uint64_t
 SweepPoint::seed(uint64_t base) const
 {
@@ -192,11 +218,15 @@ SweepPoint::seed(uint64_t base) const
     mix(static_cast<uint64_t>(static_cast<int64_t>(gating)));
     mix(static_cast<uint64_t>(static_cast<int64_t>(param)));
     mix(static_cast<uint64_t>(static_cast<int64_t>(arrival)));
-    // The fault axis joined the grid after seeds were baked into
-    // goldens: mix it only when actually swept so every pre-existing
-    // grid keeps its exact seed stream.
+    // The fault, replica, and router axes joined the grid after seeds
+    // were baked into goldens: mix each only when actually swept so
+    // every pre-existing grid keeps its exact seed stream.
     if (fault >= 0)
         mix(static_cast<uint64_t>(static_cast<int64_t>(fault)));
+    if (replicas >= 0)
+        mix(static_cast<uint64_t>(static_cast<int64_t>(replicas)));
+    if (router >= 0)
+        mix(static_cast<uint64_t>(static_cast<int64_t>(router)));
     return h;
 }
 

@@ -7,7 +7,7 @@
  * A SweepGrid declares axis values; every axis left empty contributes
  * a single wildcard cell, so drivers only populate the axes their
  * figure actually sweeps. Cells are addressed by a row-major linear
- * index (models outermost, fault scenarios innermost) — SweepPoint carries both
+ * index (models outermost, router policies innermost) — SweepPoint carries both
  * the linear index and the per-axis indices, and at() inverts the
  * mapping so drivers can render tables in any nesting order after a
  * run. Each point derives a stable 64-bit seed from its grid
@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/router.hh"
 #include "core/moentwine.hh"
 #include "fault/scenarios.hh"
 
@@ -51,6 +52,8 @@ struct SweepPoint
     int param = -1;
     int arrival = -1;
     int fault = -1;
+    int replicas = -1;
+    int router = -1;
 
     /** Model of this cell (grid must sweep models). */
     const MoEModelConfig &modelConfig() const;
@@ -84,6 +87,14 @@ struct SweepPoint
      *  fault-injection axis (src/fault/). */
     FaultScenarioKind faultScenario() const;
 
+    /** Fleet replica count of this cell (1 when not swept) — the
+     *  cluster axis (src/cluster/). */
+    int replicaCount() const;
+
+    /** Router policy of this cell (RoundRobin when not swept) — the
+     *  cluster axis (src/cluster/). */
+    RouterPolicy routerPolicy() const;
+
     /**
      * Stable per-cell RNG seed: an FNV-1a hash of the grid coordinates
      * mixed with @p base. Equal coordinates give equal seeds on every
@@ -116,9 +127,12 @@ class SweepGrid
     std::vector<double> params;
     /** Arrival processes for serving sweeps (src/serve/). */
     std::vector<ArrivalKind> arrivals;
-    /** Fault scenarios for degraded-operation sweeps (src/fault/);
-     *  innermost. */
+    /** Fault scenarios for degraded-operation sweeps (src/fault/). */
     std::vector<FaultScenarioKind> faultScenarios;
+    /** Fleet replica counts for cluster sweeps (src/cluster/). */
+    std::vector<int> replicaCounts;
+    /** Router policies for cluster sweeps (src/cluster/); innermost. */
+    std::vector<RouterPolicy> routers;
 
     /** Total cell count: product over axes of max(1, axis size). */
     std::size_t cells() const;
@@ -133,8 +147,8 @@ class SweepGrid
      */
     std::size_t at(int model = -1, int system = -1, int tp = -1,
                    int balancer = -1, int schedule = -1, int gating = -1,
-                   int param = -1, int arrival = -1,
-                   int fault = -1) const;
+                   int param = -1, int arrival = -1, int fault = -1,
+                   int replicas = -1, int router = -1) const;
 };
 
 /** One row of sweep output: a label plus ordered (key, value) metrics. */

@@ -204,6 +204,121 @@ TEST(Scheduler, KvBudgetNeverOverflowsAndFifoHolds)
     EXPECT_EQ(sched.kvReserved(), 0);
 }
 
+TEST(Scheduler, PressureAccessorsMatchRegistryBitwise)
+{
+    ArrivalConfig ac;
+    ac.ratePerSec = 300.0;
+    ac.promptMeanTokens = 128;
+    ac.outputMeanTokens = 16;
+    const auto reqs = ArrivalProcess(ac).generate(40);
+
+    ServeSchedulerConfig cfg;
+    cfg.kvBudgetTokens = 4096;
+    cfg.maxRunningRequests = 8;
+    cfg.prefillChunkTokens = 128;
+    StatRegistry stats;
+    ContinuousBatchScheduler sched(cfg, reqs);
+    sched.attachStats(&stats);
+
+    double now = 0.0;
+    while (!sched.done()) {
+        sched.admit(now);
+        // The router-visible pressure signals are pure re-reads of the
+        // scheduler's own counters — bitwise, not approximately.
+        int notArrived = 0;
+        for (const ServeRequest &r : reqs)
+            notArrived += r.arrivalTime > now ? 1 : 0;
+        EXPECT_EQ(sched.queueDepth() + sched.runningCount() +
+                      sched.finishedCount() + sched.retryPending() +
+                      notArrived,
+                  static_cast<int>(reqs.size()));
+        EXPECT_EQ(sched.kvReservedFraction(),
+                  static_cast<double>(sched.kvReserved()) /
+                      static_cast<double>(cfg.kvBudgetTokens));
+        if (sched.plan().tokensPerGroup() == 0) {
+            now = sched.nextArrival();
+            continue;
+        }
+        now += 0.001;
+        sched.complete(now);
+    }
+
+    // The registry's transition counters re-derive the same story the
+    // accessors told: every request admitted once and completed once
+    // (fault-free), nothing shed, failed, or evicted.
+    EXPECT_EQ(stats.counterValue("serve.sched.admitted"),
+              static_cast<std::int64_t>(reqs.size()));
+    EXPECT_EQ(stats.counterValue("serve.sched.completed"),
+              static_cast<std::int64_t>(reqs.size()));
+    EXPECT_EQ(stats.counterValue("serve.sched.shed"), 0);
+    EXPECT_EQ(stats.counterValue("serve.sched.failed"), 0);
+    EXPECT_EQ(stats.counterValue("serve.sched.evictions"), 0);
+    EXPECT_EQ(sched.kvReservedFraction(), 0.0);
+}
+
+TEST(Scheduler, TickIdleElapsesBackoffAndReadmitsInEvictionOrder)
+{
+    ServeSchedulerConfig cfg;
+    cfg.kvBudgetTokens = 4096;
+    cfg.maxRunningRequests = 8;
+    cfg.prefillChunkTokens = 128;
+    ContinuousBatchScheduler sched(cfg);
+
+    for (int id = 0; id < 3; ++id) {
+        ServeRequest r;
+        r.id = id;
+        r.scenario = ScenarioKind::Chat;
+        r.promptTokens = 64;
+        r.outputTokens = 8;
+        r.arrivalTime = 0.0;
+        sched.push(r);
+    }
+    sched.admit(0.0);
+    ASSERT_EQ(sched.runningCount(), 3);
+
+    // A fault evicts all three; the eviction order (1, 0, 2) is the
+    // order they must re-enter the queue front in.
+    sched.evictToRetry(1, 2);
+    sched.evictToRetry(0, 2);
+    sched.evictToRetry(2, 2);
+    EXPECT_EQ(sched.retryPending(), 3);
+    EXPECT_EQ(sched.runningCount(), 0);
+    EXPECT_EQ(sched.kvReserved(), 0);
+
+    // Nothing is runnable while the backoff pends: plan() is empty and
+    // only tickIdle() advances the iteration clock the backoff counts.
+    sched.admit(0.0);
+    EXPECT_EQ(sched.queueDepth(), 0);
+    EXPECT_EQ(sched.plan().tokensPerGroup(), 0);
+    sched.tickIdle();
+    sched.admit(0.0);
+    EXPECT_EQ(sched.queueDepth(), 0) << "re-admitted before backoff";
+    sched.tickIdle();
+    EXPECT_EQ(sched.iterationIndex(), 2);
+
+    // Backoff elapsed: all three re-queue at the front in eviction
+    // order and admit FIFO from there — deterministically 1, 0, 2.
+    sched.admit(0.0);
+    EXPECT_EQ(sched.retryPending(), 0);
+    ASSERT_EQ(sched.runningCount(), 3);
+    const std::vector<int> expected = {0, 1, 2, 1, 0, 2};
+    EXPECT_EQ(sched.admissionOrder(), expected);
+
+    double now = 0.0;
+    while (!sched.done()) {
+        sched.admit(now);
+        if (sched.plan().tokensPerGroup() == 0)
+            break;
+        now += 0.001;
+        sched.complete(now);
+    }
+    EXPECT_TRUE(sched.done());
+    for (const RequestMetrics &m : sched.metrics()) {
+        EXPECT_EQ(m.retries, 1);
+        EXPECT_EQ(m.outcome, RequestOutcome::Completed);
+    }
+}
+
 // ------------------------------------------------ serve simulation ----
 
 TEST(ServeSimulator, FixedSeedIsBitwiseDeterministic)
@@ -268,6 +383,65 @@ TEST(ServeSimulator, DriftCouplingChangesTheTimeline)
         ServeSimulator(testSystem().mapping(), sc).run();
     // The live admitted-mix gating must actually steer the engine.
     EXPECT_NE(coupled.makespan, uncoupled.makespan);
+}
+
+TEST(ServeLoop, EmptyStreamFinalizesToZerosWithoutPanicking)
+{
+    // A fleet replica that never receives a dispatch finalizes an
+    // empty completed set: percentiles and rates degrade to zero
+    // instead of tripping the Summary percentile panic.
+    const ServeConfig sc =
+        testServeConfig(ArrivalKind::Poisson, BalancerKind::None, 3);
+    StatRegistry stats;
+    ServeLoop loop(testSystem().mapping(), sc, &stats, nullptr);
+
+    EXPECT_EQ(loop.pushedRequests(), 0);
+    EXPECT_TRUE(loop.allFinished());
+    EXPECT_FALSE(loop.beginIteration()); // nothing runnable
+    const ServeReport r = loop.finalize();
+
+    EXPECT_TRUE(r.requests.empty());
+    EXPECT_EQ(r.iterations, 0);
+    EXPECT_EQ(r.makespan, 0.0);
+    EXPECT_EQ(r.ttftP50, 0.0);
+    EXPECT_EQ(r.ttftP99, 0.0);
+    EXPECT_EQ(r.tpotP99, 0.0);
+    EXPECT_EQ(r.latencyP99, 0.0);
+    EXPECT_EQ(r.throughputTokensPerSec, 0.0);
+    EXPECT_EQ(r.goodputRequestsPerSec, 0.0);
+    EXPECT_EQ(r.sloAttainment, 0.0);
+}
+
+TEST(ServeLoop, SingleRequestStreamDrivesLoopToCompletion)
+{
+    // The smallest populated stream: one pushed request driven through
+    // the public begin/finish interface. Pins the singleton-percentile
+    // convention (P50 == P99) right next to the empty-set guard above.
+    ServeConfig sc =
+        testServeConfig(ArrivalKind::Poisson, BalancerKind::None, 5);
+    sc.scheduler.kvBudgetTokens = 4096;
+    ServeLoop loop(testSystem().mapping(), sc, nullptr, nullptr);
+
+    ServeRequest r;
+    r.id = 0;
+    r.scenario = ScenarioKind::Chat;
+    r.promptTokens = 64;
+    r.outputTokens = 8;
+    r.arrivalTime = 0.0;
+    loop.push(r);
+    while (!loop.allFinished()) {
+        if (loop.beginIteration()) {
+            loop.finishIteration();
+            continue;
+        }
+        loop.advanceIdle(loop.nextArrival());
+    }
+    const ServeReport report = loop.finalize();
+    ASSERT_EQ(report.requests.size(), 1u);
+    EXPECT_EQ(report.requests[0].outcome, RequestOutcome::Completed);
+    EXPECT_GT(report.makespan, 0.0);
+    EXPECT_EQ(report.ttftP50, report.ttftP99); // singleton percentile
+    EXPECT_GT(report.sloAttainment, 0.0);
 }
 
 // ----------------------------------------------------- sweep cells ----
