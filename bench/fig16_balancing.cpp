@@ -11,8 +11,12 @@
  * achieves the best MoE computation and all-to-all latency.
  *
  * The full model × schedule × workload × strategy product runs on the
- * SweepRunner thread pool (`--jobs N`, MOENTWINE_JOBS); one WSC
- * system is built once and shared read-only by every worker.
+ * SweepRunner work-stealing pool (`--jobs N`, MOENTWINE_JOBS;
+ * `--affinity` / MOENTWINE_AFFINITY pins workers); one WSC system is
+ * built once and shared read-only by every worker, and each worker
+ * re-seeds its cached engine across cells instead of reconstructing
+ * it (cell.worker->engine()) — rows stay byte-identical to `--jobs 1`
+ * either way.
  *
  * With `--trace <path>` the finished sweep re-emits as a Chrome trace:
  * one span per cell, laid end-to-end in grid order on a synthetic
@@ -85,7 +89,8 @@ main(int argc, char **argv)
     const SweepRunner runner = benchjobs::makeRunner(argc, argv);
     const auto rows = runner.run(grid, [](const SweepCell &cell) {
         const EngineConfig ec = benchgrid::fig16EngineConfig(cell.point);
-        InferenceEngine engine(cell.system->mapping(), ec);
+        InferenceEngine &engine =
+            cell.worker->engine(cell.system->mapping(), ec);
 
         Summary a2a;
         Summary moe;

@@ -4,12 +4,16 @@
  *
  * Every driver honours the same flag vocabulary:
  *   --jobs N         worker count (resolved by benchjobs, not here)
+ *   --affinity       pin sweep workers to CPUs (resolved by benchjobs)
  *   --trace <path>   write a Chrome trace-event JSON (src/obs/trace.hh)
  *   --stats <path>   write the merged StatRegistry JSON
  *   --devices N      device-count override (scale_smoke)
- * All value flags accept both `--flag value` and `--flag=value`.
- * Numeric parsing is strtol-validated — trailing garbage, overflow, and
- * non-positive values are fatal(), never silently atoi()'d to zero.
+ * All value flags accept both `--flag value` and `--flag=value`; when
+ * a flag repeats, the last occurrence wins (the normal CLI override
+ * convention — `bench --jobs 8 --jobs 1` runs serial), but every
+ * occurrence is still validated. Numeric parsing is strtol-validated —
+ * trailing garbage, overflow, and non-positive values are fatal(),
+ * never silently atoi()'d to zero.
  */
 
 #ifndef MOENTWINE_BENCH_FLAGS_HH
@@ -27,23 +31,25 @@ namespace benchflags {
 
 /**
  * Value of a `--name value` / `--name=value` flag; empty string when
- * the flag is absent. A flag present without a value is fatal().
+ * the flag is absent. The last occurrence wins; a flag present
+ * without a value is fatal() wherever it appears.
  */
 inline std::string
 stringFlag(int argc, char **argv, const std::string &name)
 {
     const std::string prefix = name + "=";
+    std::string value;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == name) {
             if (i + 1 >= argc)
                 fatal(name + " expects a value");
-            return argv[i + 1];
+            value = argv[++i];
+        } else if (arg.rfind(prefix, 0) == 0) {
+            value = arg.substr(prefix.size());
         }
-        if (arg.rfind(prefix, 0) == 0)
-            return arg.substr(prefix.size());
     }
-    return std::string();
+    return value;
 }
 
 /** strtol-validated positive int; fatal() on garbage or overflow. */
@@ -67,11 +73,20 @@ positionals(int argc, char **argv)
 {
     static const char *const kValueFlags[] = {"--jobs", "--trace",
                                               "--stats", "--devices"};
+    static const char *const kBoolFlags[] = {"--affinity"};
     std::vector<std::string> out;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg.rfind("--", 0) == 0) {
             bool known = false;
+            for (const char *flag : kBoolFlags) {
+                if (arg == flag) {
+                    known = true;
+                    break;
+                }
+            }
+            if (known)
+                continue;
             for (const char *flag : kValueFlags) {
                 if (arg == flag) {
                     ++i; // skip the flag's value

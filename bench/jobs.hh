@@ -3,8 +3,11 @@
  * Shared worker-count resolution for the bench drivers.
  *
  * Every driver honours the same convention:
- *   `--jobs N` argument > `MOENTWINE_JOBS` env > hardware_concurrency()
- * These helpers are the one place that convention is spelled, so a
+ *   `--jobs N` argument (last occurrence wins) > `MOENTWINE_JOBS` env
+ *   > hardware_concurrency()
+ * and the same affinity chain:
+ *   `--affinity` flag > `MOENTWINE_AFFINITY` env ("1"/"0") > off
+ * These helpers are the one place those conventions are spelled, so a
  * driver's main() reduces to `benchjobs::makeRunner(argc, argv)` (or
  * `benchjobs::resolve(argc, argv)` when it needs the bare count).
  */
@@ -25,11 +28,24 @@ resolve(int argc, char **argv)
         SweepRunner::jobsFromArgs(argc, argv));
 }
 
-/** A SweepRunner sized by resolve() for a driver's command line. */
+/** The SweepOptions a driver's command line asks for: jobs and
+ *  affinity resolved, everything else at production defaults
+ *  (stealing + per-worker engine reuse on). */
+inline SweepOptions
+optionsFromArgs(int argc, char **argv)
+{
+    SweepOptions opts;
+    opts.jobs = SweepRunner::jobsFromArgs(argc, argv);
+    opts.affinity = SweepRunner::affinityFromArgs(argc, argv);
+    return opts;
+}
+
+/** A SweepRunner configured by optionsFromArgs() for a driver's
+ *  command line. */
 inline SweepRunner
 makeRunner(int argc, char **argv)
 {
-    return SweepRunner(SweepRunner::jobsFromArgs(argc, argv));
+    return SweepRunner(optionsFromArgs(argc, argv));
 }
 
 } // namespace benchjobs

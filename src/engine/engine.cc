@@ -56,7 +56,15 @@ InferenceEngine::InferenceEngine(const Mapping &mapping,
       arScratch_(mapping.topology()),
       espScratch_(mapping.topology())
 {
-    switch (cfg.balancer) {
+    makeBalancer();
+}
+
+void
+InferenceEngine::makeBalancer()
+{
+    invasive_.reset();
+    nonInvasive_.reset();
+    switch (cfg_.balancer) {
       case BalancerKind::None:
         break;
       case BalancerKind::Greedy:
@@ -64,13 +72,53 @@ InferenceEngine::InferenceEngine(const Mapping &mapping,
         break;
       case BalancerKind::TopologyAware:
         invasive_ =
-            std::make_unique<TopologyAwareBalancer>(mapping.topology());
+            std::make_unique<TopologyAwareBalancer>(mapping_.topology());
         break;
       case BalancerKind::NonInvasive:
         nonInvasive_ =
-            std::make_unique<NiBalancer>(mapping, cfg.model.expertBytes);
+            std::make_unique<NiBalancer>(mapping_, cfg_.model.expertBytes);
         break;
     }
+}
+
+void
+InferenceEngine::reset(const EngineConfig &cfg)
+{
+    // Mirror of the constructor's member initialization, in place: the
+    // simulation state (config, cost model, workload stream, placement,
+    // EMA loads, trigger, balancers, iteration counter) is rebuilt from
+    // scratch; the per-iteration scratch members below them in the
+    // class are deliberately NOT touched — every step() overwrites
+    // their contents before reading them, so only their capacity
+    // survives, which is the reuse win and is unobservable in results.
+    cfg_ = cfg;
+    cost_ = CostModel(cfg.device, cfg.gemmEfficiency);
+    {
+        WorkloadConfig w = cfg.workload;
+        w.numExperts = cfg.model.expertsTotal;
+        w.topK = cfg.model.expertsActivated;
+        workload_ = WorkloadGenerator(w);
+    }
+    placement_ = ExpertPlacement(cfg.model.expertsTotal,
+                                 mapping_.numDevices(), cfg.shadowSlots);
+    emaLoads_.assign(static_cast<std::size_t>(cfg.model.expertsTotal),
+                     0.0);
+    trigger_ = RebalanceTrigger(
+        cfg.alpha,
+        cfg.balancer == BalancerKind::NonInvasive ? 0 : cfg.beta);
+    makeBalancer();
+    iteration_ = 0;
+    faults_ = nullptr;
+    faultTopoEpochSeen_ = 0;
+    faultLostSeen_ = 0;
+    obs_ = ObsHooks{};
+    traceNow_ = 0.0;
+    // The accumulator's compaction count is cumulative across resets
+    // (an obs counter); re-baseline so a later attachObs() publishes
+    // only this simulation's compactions, exactly as a fresh engine
+    // would.
+    obsCompactionsSeen_ = routedScratch_.pairBytes.compactions();
+    obsHandles_ = ObsHandles{};
 }
 
 void
@@ -99,7 +147,11 @@ InferenceEngine::attachObs(const ObsHooks &obs)
     MOE_ASSERT(iteration_ == 0, "attachObs after the first step");
     obs_ = obs;
     traceNow_ = 0.0;
-    obsCompactionsSeen_ = 0;
+    // Baseline, not zero: on a reset (reused) engine the accumulator's
+    // cumulative compaction count is already positive, and only the
+    // compactions of THIS simulation may be published. Identical to 0
+    // on a freshly constructed engine.
+    obsCompactionsSeen_ = routedScratch_.pairBytes.compactions();
     if (obs_.stats != nullptr) {
         StatRegistry &s = *obs_.stats;
         obsHandles_.iterations = s.counter("engine.iterations");

@@ -212,6 +212,22 @@ class InferenceEngine
     InferenceEngine(const Mapping &mapping, const EngineConfig &cfg);
 
     /**
+     * Re-arm this engine for a fresh simulation under @p cfg on the
+     * same mapping, as if it had just been constructed — same RNG
+     * stream, same placement, same balancer state, detached faults
+     * and observability. The point of resetting instead of
+     * reconstructing is scratch reuse: the per-iteration buffers
+     * (traffic accumulators, routed-flow scratch, counts matrices,
+     * collective buffers) keep their steady-state capacity, so a
+     * sweep worker running many same-platform cells pays the big
+     * allocations once instead of per cell. The determinism contract
+     * is strict and test-pinned: a reset engine's timeline is bitwise
+     * identical to a newly constructed engine's for any prior history
+     * (tests/engine_test.cpp, tests/sweep_test.cpp).
+     */
+    void reset(const EngineConfig &cfg);
+
+    /**
      * Simulate one iteration with the fixed per-schedule token budget
      * of the configuration and advance balancing state.
      */
@@ -273,6 +289,9 @@ class InferenceEngine
     void attachObs(const ObsHooks &obs);
 
   private:
+    /** (Re)create the balancer objects for cfg_.balancer. */
+    void makeBalancer();
+
     /** Apply the fault boundary of the current iteration. */
     void syncFaults(IterationStats &stats);
 

@@ -1,0 +1,211 @@
+#include "sweep/affinity.hh"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+
+#include <cctype>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+#endif
+
+namespace moentwine {
+namespace affinity {
+
+#if defined(__linux__)
+
+namespace {
+
+/**
+ * Parse a sysfs cpulist ("0-3,8,10-11") into CPU ids. Malformed
+ * input yields an empty list — callers treat that as "unknown" and
+ * fall back, never fail.
+ */
+std::vector<int>
+parseCpuList(const std::string &text)
+{
+    std::vector<int> cpus;
+    std::size_t i = 0;
+    while (i < text.size()) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+            ++i;
+            continue;
+        }
+        std::size_t end = i;
+        while (end < text.size() &&
+               std::isdigit(static_cast<unsigned char>(text[end])))
+            ++end;
+        const int lo = std::stoi(text.substr(i, end - i));
+        int hi = lo;
+        if (end < text.size() && text[end] == '-') {
+            std::size_t e2 = end + 1;
+            while (e2 < text.size() &&
+                   std::isdigit(static_cast<unsigned char>(text[e2])))
+                ++e2;
+            if (e2 > end + 1)
+                hi = std::stoi(text.substr(end + 1, e2 - end - 1));
+            end = e2;
+        }
+        for (int c = lo; c <= hi && hi - lo < 65536; ++c)
+            cpus.push_back(c);
+        i = end;
+    }
+    return cpus;
+}
+
+std::string
+readSmallFile(const std::string &path)
+{
+    std::string out;
+    if (std::FILE *f = std::fopen(path.c_str(), "r")) {
+        char buf[4096];
+        const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+        std::fclose(f);
+        out.assign(buf, n);
+    }
+    return out;
+}
+
+/**
+ * cpu → node map read once from sysfs. Index is the CPU id; value is
+ * its node (0 when the sysfs layout is absent or masked).
+ */
+struct NodeMap
+{
+    int nodes = 1;
+    std::vector<int> nodeOf; // indexed by cpu id
+
+    NodeMap()
+    {
+        for (int node = 0;; ++node) {
+            const std::string list = readSmallFile(
+                "/sys/devices/system/node/node" + std::to_string(node) +
+                "/cpulist");
+            if (list.empty()) {
+                // node0 missing entirely → no sysfs NUMA view; keep
+                // the single-node default.
+                if (node > 0)
+                    nodes = node;
+                break;
+            }
+            for (const int cpu : parseCpuList(list)) {
+                if (cpu >= static_cast<int>(nodeOf.size()))
+                    nodeOf.resize(static_cast<std::size_t>(cpu) + 1, 0);
+                nodeOf[static_cast<std::size_t>(cpu)] = node;
+            }
+        }
+        if (nodes < 1)
+            nodes = 1;
+    }
+};
+
+const NodeMap &
+nodeMap()
+{
+    static const NodeMap map;
+    return map;
+}
+
+} // namespace
+
+int
+cpuCount()
+{
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0)
+            return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<int>
+allowedCpus()
+{
+    std::vector<int> cpus;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        for (int c = 0; c < CPU_SETSIZE; ++c)
+            if (CPU_ISSET(static_cast<unsigned>(c), &set))
+                cpus.push_back(c);
+    }
+    if (cpus.empty())
+        for (int c = 0; c < cpuCount(); ++c)
+            cpus.push_back(c);
+    return cpus;
+}
+
+int
+numaNodeCount()
+{
+    return nodeMap().nodes;
+}
+
+int
+nodeOfCpu(int cpu)
+{
+    const NodeMap &map = nodeMap();
+    if (cpu < 0 || cpu >= static_cast<int>(map.nodeOf.size()))
+        return 0;
+    return map.nodeOf[static_cast<std::size_t>(cpu)];
+}
+
+bool
+pinSelfToCpu(int cpu)
+{
+    if (cpu < 0)
+        return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<unsigned>(cpu), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+#else // !__linux__
+
+int
+cpuCount()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<int>
+allowedCpus()
+{
+    std::vector<int> cpus;
+    for (int c = 0; c < cpuCount(); ++c)
+        cpus.push_back(c);
+    return cpus;
+}
+
+int
+numaNodeCount()
+{
+    return 1;
+}
+
+int
+nodeOfCpu(int)
+{
+    return 0;
+}
+
+bool
+pinSelfToCpu(int)
+{
+    return false;
+}
+
+#endif
+
+} // namespace affinity
+} // namespace moentwine

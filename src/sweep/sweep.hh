@@ -1,8 +1,10 @@
 /**
  * @file
  * Umbrella header of the parallel sweep subsystem: grid declaration
- * (sweep_grid.hh) plus thread-pooled execution (sweep_runner.hh).
- * Bench drivers include this and write:
+ * (sweep_grid.hh), work-stealing execution with per-worker state
+ * (sweep_runner.hh, work_deque.hh, worker_context.hh), and CPU/NUMA
+ * placement helpers (affinity.hh). Bench drivers include this and
+ * write:
  *
  * @code
  *   SweepGrid grid;
@@ -10,12 +12,16 @@
  *   grid.systems = {wscErCfg};
  *   grid.balancers = {BalancerKind::None, BalancerKind::NonInvasive};
  *
- *   const SweepRunner runner(SweepRunner::jobsFromArgs(argc, argv));
+ *   SweepOptions opts;
+ *   opts.jobs = SweepRunner::jobsFromArgs(argc, argv);
+ *   opts.affinity = SweepRunner::affinityFromArgs(argc, argv);
+ *   const SweepRunner runner(opts);
  *   const auto rows = runner.run(grid, [](const SweepCell &cell) {
  *       EngineConfig ec;
  *       ec.model = cell.point.modelConfig();
  *       ec.balancer = cell.point.balancerKind();
- *       InferenceEngine engine(cell.system->mapping(), ec);
+ *       InferenceEngine &engine =
+ *           cell.worker->engine(cell.system->mapping(), ec);
  *       ...
  *       SweepResult row;
  *       row.label = cell.system->name();
@@ -28,7 +34,10 @@
 #ifndef MOENTWINE_SWEEP_SWEEP_HH
 #define MOENTWINE_SWEEP_SWEEP_HH
 
+#include "sweep/affinity.hh"
 #include "sweep/sweep_grid.hh"
 #include "sweep/sweep_runner.hh"
+#include "sweep/work_deque.hh"
+#include "sweep/worker_context.hh"
 
 #endif // MOENTWINE_SWEEP_SWEEP_HH

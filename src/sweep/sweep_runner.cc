@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
@@ -11,6 +12,9 @@
 #include <thread>
 
 #include "common/logging.hh"
+#include "obs/stat_registry.hh"
+#include "sweep/affinity.hh"
+#include "sweep/work_deque.hh"
 
 namespace moentwine {
 
@@ -38,11 +42,63 @@ parsePositiveInt(const char *text)
     return static_cast<int>(value);
 }
 
+double
+secondsSince(const std::chrono::steady_clock::time_point &t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
 } // namespace
+
+double
+SweepRunStats::busyMeanSeconds() const
+{
+    if (workerBusySeconds.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double s : workerBusySeconds)
+        sum += s;
+    return sum / static_cast<double>(workerBusySeconds.size());
+}
+
+void
+SweepRunStats::publishTo(StatRegistry &registry) const
+{
+    registry.add(registry.counter("sweep.cells"), cells);
+    registry.add(registry.counter("sweep.prebuilds"), prebuilds);
+    registry.add(registry.counter("sweep.steals"), steals);
+    registry.add(registry.counter("sweep.prebuild_steals"),
+                 prebuildSteals);
+    registry.add(registry.counter("sweep.engine.builds"), engineBuilds);
+    registry.add(registry.counter("sweep.engine.reuses"), engineReuses);
+    registry.set(registry.gauge("sweep.workers"),
+                 static_cast<double>(workers));
+    registry.set(registry.gauge("sweep.numa_nodes"),
+                 static_cast<double>(numaNodes));
+    registry.set(registry.gauge("sweep.workers_pinned"),
+                 static_cast<double>(pinned));
+    const StatRegistry::Handle busy =
+        registry.distribution("sweep.worker.busy_s");
+    for (double s : workerBusySeconds)
+        registry.observe(busy, s);
+    const StatRegistry::Handle items =
+        registry.distribution("sweep.worker.items");
+    for (std::int64_t n : workerItems)
+        registry.observe(items, static_cast<double>(n));
+}
 
 SweepRunner::SweepRunner(int jobs)
     : jobs_(resolveJobs(jobs))
 {
+    opts_.jobs = jobs_;
+}
+
+SweepRunner::SweepRunner(const SweepOptions &opts)
+    : opts_(opts), jobs_(resolveJobs(opts.jobs))
+{
+    opts_.jobs = jobs_;
 }
 
 int
@@ -64,42 +120,82 @@ SweepRunner::resolveJobs(int requested)
 int
 SweepRunner::jobsFromArgs(int argc, char **argv)
 {
+    int jobs = 0;
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         const char *value = nullptr;
         if (std::strcmp(arg, "--jobs") == 0) {
             if (i + 1 >= argc)
                 fatal("--jobs requires a value");
-            value = argv[i + 1];
+            value = argv[++i];
         } else if (std::strncmp(arg, "--jobs=", 7) == 0) {
             value = arg + 7;
         } else {
             continue;
         }
-        const int jobs = parsePositiveInt(value);
-        if (jobs <= 0)
+        // Every occurrence is validated; the last one wins, so
+        // `bench --jobs 8 --jobs 1` runs serial while
+        // `bench --jobs 8 --jobs bogus` still dies loudly.
+        const int parsed = parsePositiveInt(value);
+        if (parsed <= 0)
             fatal("--jobs expects a positive integer (got '" +
                   std::string(value) + "')");
-        return jobs;
+        jobs = parsed;
     }
-    return 0;
+    return jobs;
+}
+
+bool
+SweepRunner::affinityFromArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--affinity") == 0)
+            return true;
+    }
+    if (const char *env = std::getenv("MOENTWINE_AFFINITY")) {
+        if (std::strcmp(env, "1") == 0)
+            return true;
+        if (std::strcmp(env, "0") == 0)
+            return false;
+        fatal("MOENTWINE_AFFINITY expects '1' or '0' (got '" +
+              std::string(env) + "')");
+    }
+    return false;
 }
 
 std::vector<SweepResult>
-SweepRunner::run(const SweepGrid &grid, const CellFn &fn) const
+SweepRunner::run(const SweepGrid &grid, const CellFn &fn,
+                 SweepRunStats *stats) const
 {
     const std::size_t cells = grid.cells();
     std::vector<SweepResult> rows(cells);
+    if (stats)
+        *stats = SweepRunStats{};
     if (cells == 0)
         return rows;
 
-    // One System per (system, TP) axis pair, shared by every cell with
-    // those coordinates. Slots build lazily under a call_once so the
-    // expensive platform finalization (all-pairs routes, dispatch
-    // memos) runs on whichever worker needs it first — in parallel
-    // across distinct platforms — instead of serially before the pool
-    // starts. The config always comes from SweepPoint::systemConfig(),
-    // the single source of truth for the TP-override rule.
+    const std::size_t workers = std::min<std::size_t>(
+        static_cast<std::size_t>(jobs_), cells);
+
+    // NUMA replication degree: detection only matters when workers
+    // are actually pinned (an unpinned worker has no home node); the
+    // override forces the replication path on single-socket boxes.
+    int nodes = 1;
+    if (opts_.numaNodesOverride > 0)
+        nodes = opts_.numaNodesOverride;
+    else if (opts_.affinity)
+        nodes = std::max(1, affinity::numaNodeCount());
+
+    // One System per (system, TP) axis pair and NUMA node, shared by
+    // every cell with those coordinates on that node. Slots build
+    // under a call_once — normally satisfied by a stealable prebuild
+    // item before any cell needs it, with the once-guard as backstop
+    // for cells that outrun their prebuild (and as the only mechanism
+    // on the serial and non-stealing paths). The config always comes
+    // from SweepPoint::systemConfig(), the single source of truth for
+    // the TP-override rule; replicas of a slot are built from the
+    // same config and are therefore identical — which replica a cell
+    // reads is unobservable in its row.
     struct SystemSlot
     {
         std::once_flag once;
@@ -107,14 +203,19 @@ SweepRunner::run(const SweepGrid &grid, const CellFn &fn) const
     };
     const std::size_t nTp =
         grid.tpDegrees.empty() ? 1 : grid.tpDegrees.size();
-    std::vector<SystemSlot> slots(grid.systems.size() * nTp);
-    const auto systemFor =
-        [&](const SweepPoint &p) -> std::shared_ptr<const System> {
+    const std::size_t nSlots = grid.systems.size() * nTp;
+    std::vector<SystemSlot> slots(nSlots *
+                                  static_cast<std::size_t>(nodes));
+    const auto systemFor = [&](const SweepPoint &p,
+                               int node) -> std::shared_ptr<const System> {
         if (p.system < 0)
             return nullptr;
-        const std::size_t t = p.tp < 0 ? 0 : static_cast<std::size_t>(p.tp);
+        const std::size_t t =
+            p.tp < 0 ? 0 : static_cast<std::size_t>(p.tp);
         SystemSlot &slot =
-            slots[static_cast<std::size_t>(p.system) * nTp + t];
+            slots[(static_cast<std::size_t>(p.system) * nTp + t) *
+                      static_cast<std::size_t>(nodes) +
+                  static_cast<std::size_t>(node)];
         std::call_once(slot.once, [&] {
             slot.system =
                 std::make_shared<System>(System::make(p.systemConfig()));
@@ -122,48 +223,240 @@ SweepRunner::run(const SweepGrid &grid, const CellFn &fn) const
         return slot.system;
     };
 
-    // Work queue: an atomic cursor over the linear cell range. Rows are
-    // written at their grid index, making the output order independent
-    // of completion order.
-    std::atomic<std::size_t> next{0};
     std::atomic<bool> failed{false};
     std::exception_ptr firstError;
     std::mutex errorMutex;
+    const auto recordError = [&] {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError)
+            firstError = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+    };
 
-    const auto work = [&] {
-        for (;;) {
-            const std::size_t i =
-                next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= cells || failed.load(std::memory_order_relaxed))
-                return;
-            try {
-                const SweepPoint point = grid.pointAt(i);
-                SweepCell cell{point, systemFor(point)};
-                rows[i] = fn(cell);
-                rows[i].index = i;
-            } catch (...) {
-                std::lock_guard<std::mutex> lock(errorMutex);
-                if (!firstError)
-                    firstError = std::current_exception();
-                failed.store(true, std::memory_order_relaxed);
-                return;
-            }
+    // Rows are written at their grid index, making the output order
+    // independent of completion order, stealing, and placement.
+    const auto runCell = [&](std::size_t i, WorkerContext &ctx) {
+        const SweepPoint point = grid.pointAt(i);
+        SweepCell cell{point, systemFor(point, ctx.numaNode()), &ctx};
+        rows[i] = fn(cell);
+        rows[i].index = i;
+    };
+
+    std::vector<std::unique_ptr<WorkerContext>> contexts;
+    contexts.reserve(std::max<std::size_t>(workers, 1));
+    for (std::size_t w = 0; w < std::max<std::size_t>(workers, 1); ++w)
+        contexts.push_back(std::make_unique<WorkerContext>(
+            static_cast<int>(w), opts_.reuseWorkerState));
+
+    // Per-worker scheduler tallies; each worker writes only its own
+    // slot, the main thread reads after join.
+    std::vector<std::int64_t> cellCount(contexts.size(), 0);
+    std::vector<std::int64_t> prebuildCount(contexts.size(), 0);
+    std::vector<std::int64_t> stealCount(contexts.size(), 0);
+    std::vector<std::int64_t> prebuildStealCount(contexts.size(), 0);
+    std::vector<double> busySeconds(contexts.size(), 0.0);
+    std::vector<HwCounterValues> hwParts(contexts.size());
+
+    const auto fillStats = [&] {
+        if (!stats)
+            return;
+        stats->workers = static_cast<int>(contexts.size());
+        stats->numaNodes = nodes;
+        stats->stealing = opts_.stealing && workers > 1;
+        stats->affinity = opts_.affinity;
+        stats->reuse = opts_.reuseWorkerState;
+        stats->workerItems.assign(contexts.size(), 0);
+        stats->workerSteals.assign(contexts.size(), 0);
+        stats->workerBusySeconds = busySeconds;
+        for (std::size_t w = 0; w < contexts.size(); ++w) {
+            stats->cells += cellCount[w];
+            stats->prebuilds += prebuildCount[w];
+            stats->steals += stealCount[w];
+            stats->prebuildSteals += prebuildStealCount[w];
+            stats->workerItems[w] = cellCount[w] + prebuildCount[w];
+            stats->workerSteals[w] = stealCount[w];
+            if (contexts[w]->pinnedCpu() >= 0)
+                ++stats->pinned;
+            stats->engineBuilds += contexts[w]->engineBuilds();
+            stats->engineReuses += contexts[w]->engineReuses();
+            stats->hw.cycles += hwParts[w].cycles;
+            stats->hw.instructions += hwParts[w].instructions;
+            stats->hw.cacheMisses += hwParts[w].cacheMisses;
+            stats->hw.dtlbMisses += hwParts[w].dtlbMisses;
+            stats->hw.available =
+                stats->hw.available || hwParts[w].available;
         }
     };
 
-    const std::size_t workers = std::min<std::size_t>(
-        static_cast<std::size_t>(jobs_), cells);
     if (workers <= 1) {
-        // Serial reference path: inline on the calling thread.
-        work();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (std::size_t w = 0; w < workers; ++w)
-            pool.emplace_back(work);
-        for (std::thread &t : pool)
-            t.join();
+        // Serial reference path: inline on the calling thread in grid
+        // order. The calling thread is never pinned — affinity is a
+        // pool-worker concern, and leaking a mask change past run()
+        // would constrain the caller's whole process.
+        WorkerContext &ctx = *contexts[0];
+        HwCounters hw;
+        if (opts_.collectHw)
+            hw.start();
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            for (std::size_t i = 0; i < cells; ++i) {
+                runCell(i, ctx);
+                ++cellCount[0];
+            }
+        } catch (...) {
+            recordError();
+        }
+        busySeconds[0] = secondsSince(t0);
+        if (opts_.collectHw)
+            hwParts[0] = hw.stop();
+        fillStats();
+        if (firstError)
+            std::rethrow_exception(firstError);
+        return rows;
     }
+
+    // Worker placement, decided before the pool starts so a worker's
+    // NUMA node is known to the preloader and never changes. A worker
+    // is pinned round-robin over the CPUs the process is actually
+    // allowed to run on (container cpusets shrink that set below
+    // 0..N-1); its node is the pinned CPU's node, or round-robin when
+    // the override forces replication without real pinning.
+    std::vector<int> pinCpu(workers, -1);
+    if (opts_.affinity) {
+        const std::vector<int> cpus = affinity::allowedCpus();
+        if (!cpus.empty()) {
+            for (std::size_t w = 0; w < workers; ++w)
+                pinCpu[w] = cpus[w % cpus.size()];
+        }
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+        int node = 0;
+        if (opts_.numaNodesOverride > 0) {
+            node = static_cast<int>(w % static_cast<std::size_t>(nodes));
+        } else if (nodes > 1 && pinCpu[w] >= 0) {
+            node = affinity::nodeOfCpu(pinCpu[w]);
+            if (node < 0 || node >= nodes)
+                node = 0;
+        }
+        contexts[w]->numaNode_ = node;
+    }
+
+    // Preload the deques. Worker w owns the contiguous cell block
+    // [w*cells/W, (w+1)*cells/W); the system axis is outermost in the
+    // grid's row-major order, so blocks keep same-platform cells
+    // together and the worker's engine pool hits. Cells are pushed in
+    // reverse so the owner (LIFO bottom) walks its block in ascending
+    // grid order while thieves (FIFO top) eat the block's tail.
+    // Prebuild items — one per (system, TP) slot, dealt round-robin —
+    // are pushed last so every owner finalizes its platforms before
+    // touching cells; an idle worker can steal a prebuild just like a
+    // cell, which is what keeps same-platform warm-up from
+    // serializing on the first worker to need it.
+    std::vector<SweepWorkDeque> deques(opts_.stealing ? workers : 0);
+    if (opts_.stealing) {
+        for (std::size_t w = 0; w < workers; ++w) {
+            const std::size_t begin = w * cells / workers;
+            const std::size_t end = (w + 1) * cells / workers;
+            for (std::size_t i = end; i > begin; --i)
+                deques[w].push(SweepWorkItem{SweepWorkItem::Kind::Cell,
+                                             i - 1});
+        }
+        for (std::size_t k = nSlots; k > 0; --k) {
+            const std::size_t slot = k - 1;
+            const std::size_t sys = slot / nTp;
+            const std::size_t tp = slot % nTp;
+            // Representative cell of the slot: index 0 on every other
+            // axis (at() accepts 0 for unswept axes too).
+            const std::size_t rep =
+                grid.at(0, static_cast<int>(sys), static_cast<int>(tp),
+                        0, 0, 0, 0, 0, 0, 0, 0);
+            deques[slot % workers].push(
+                SweepWorkItem{SweepWorkItem::Kind::Prebuild, rep});
+        }
+    }
+
+    // Legacy drain (stealing disabled): a shared atomic cursor over
+    // the cell range — dynamic balancing without locality.
+    std::atomic<std::size_t> next{0};
+
+    const auto workerLoop = [&](std::size_t w) {
+        WorkerContext &ctx = *contexts[w];
+        if (pinCpu[w] >= 0) {
+            if (affinity::pinSelfToCpu(pinCpu[w]))
+                ctx.pinnedCpu_ = pinCpu[w];
+            else
+                warn("sweep: could not pin worker " + std::to_string(w) +
+                     " to cpu " + std::to_string(pinCpu[w]) +
+                     "; running unpinned");
+        }
+        HwCounters hw;
+        if (opts_.collectHw)
+            hw.start();
+        SweepWorkItem item;
+        bool ownLive = opts_.stealing;
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                break;
+            bool got = false;
+            bool stolen = false;
+            if (opts_.stealing) {
+                if (ownLive) {
+                    got = deques[w].takeBottom(item);
+                    if (!got)
+                        ownLive = false; // drained for good: no pushes
+                }
+                if (!got) {
+                    // Deterministic victim order w+1, w+2, ... A full
+                    // empty sweep means done: items only disappear,
+                    // and a lost steal race means someone else
+                    // claimed that item and will execute it.
+                    for (std::size_t v = 1; v < workers && !got; ++v) {
+                        if (deques[(w + v) % workers].stealTop(item)) {
+                            got = true;
+                            stolen = true;
+                        }
+                    }
+                }
+            } else {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i < cells) {
+                    item = SweepWorkItem{SweepWorkItem::Kind::Cell, i};
+                    got = true;
+                }
+            }
+            if (!got)
+                break;
+            const auto t0 = std::chrono::steady_clock::now();
+            try {
+                if (item.kind == SweepWorkItem::Kind::Prebuild) {
+                    systemFor(grid.pointAt(item.index), ctx.numaNode());
+                    ++prebuildCount[w];
+                    if (stolen)
+                        ++prebuildStealCount[w];
+                } else {
+                    runCell(item.index, ctx);
+                    ++cellCount[w];
+                }
+                if (stolen)
+                    ++stealCount[w];
+            } catch (...) {
+                recordError();
+                break;
+            }
+            busySeconds[w] += secondsSince(t0);
+        }
+        if (opts_.collectHw)
+            hwParts[w] = hw.stop();
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w)
+        pool.emplace_back(workerLoop, w);
+    for (std::thread &t : pool)
+        t.join();
+    fillStats();
     if (firstError)
         std::rethrow_exception(firstError);
     return rows;

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Fixed-array work-stealing deque for the sweep scheduler.
+ *
+ * The sweep workload is special: every work item (system prebuilds
+ * plus one item per grid cell) is known before the pool starts, so
+ * each worker's deque is preloaded single-threaded and only ever
+ * shrinks during the run — there is no concurrent push, no buffer
+ * growth, and therefore no ABA hazard. What remains of the classic
+ * Chase–Lev algorithm is the two-ended arbitration:
+ *
+ *  - the owner pops from the bottom (LIFO relative to preload order);
+ *  - thieves steal from the top (FIFO — the oldest preloaded items),
+ *    so the owner and its thieves collide only on the last item,
+ *    which a compare-exchange on top arbitrates.
+ *
+ * All atomics use seq_cst rather than the fence-based formulation:
+ * ThreadSanitizer does not model standalone atomic_thread_fence, and
+ * the TSan CI job is part of this deque's correctness contract. At
+ * sweep-cell granularity (milliseconds per item) the ordering cost is
+ * unmeasurable.
+ *
+ * Scheduling freedom never reaches the output: rows are written at
+ * their grid index and every cell is a pure function of its
+ * SweepPoint, so who executed an item is unobservable outside the
+ * steal counters (see SweepRunStats).
+ */
+
+#ifndef MOENTWINE_SWEEP_WORK_DEQUE_HH
+#define MOENTWINE_SWEEP_WORK_DEQUE_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace moentwine {
+
+/** One schedulable unit of a sweep run. */
+struct SweepWorkItem
+{
+    enum class Kind
+    {
+        Prebuild, ///< finalize one (system, TP) platform slot
+        Cell,     ///< execute one grid cell
+    };
+
+    Kind kind = Kind::Cell;
+    /** Linear grid index: the cell to run (Cell), or a representative
+     *  cell of the (system, TP) slot to finalize (Prebuild). */
+    std::size_t index = 0;
+};
+
+/**
+ * One worker's deque. Preload items with push() before any worker
+ * thread starts; during the run the owner calls takeBottom() and
+ * other workers call stealTop().
+ */
+class SweepWorkDeque
+{
+  public:
+    /** Preload one item (single-threaded setup phase only). */
+    void push(const SweepWorkItem &item)
+    {
+        items_.push_back(item);
+        bottom_.store(static_cast<long>(items_.size()),
+                      std::memory_order_seq_cst);
+    }
+
+    /** Preloaded item count (setup/reporting; not a liveness probe). */
+    std::size_t size() const { return items_.size(); }
+
+    /**
+     * Owner-side pop of the most recently preloaded remaining item.
+     * Returns false when the deque is empty (or the last item was
+     * lost to a concurrent thief).
+     */
+    bool takeBottom(SweepWorkItem &out)
+    {
+        long b = bottom_.load(std::memory_order_seq_cst) - 1;
+        bottom_.store(b, std::memory_order_seq_cst);
+        long t = top_.load(std::memory_order_seq_cst);
+        if (t > b) {
+            // Empty: restore bottom for the benefit of size probes.
+            bottom_.store(b + 1, std::memory_order_seq_cst);
+            return false;
+        }
+        if (t == b) {
+            // Last item: race the thieves for it via top.
+            const bool won = top_.compare_exchange_strong(
+                t, t + 1, std::memory_order_seq_cst);
+            bottom_.store(b + 1, std::memory_order_seq_cst);
+            if (!won)
+                return false;
+            out = items_[static_cast<std::size_t>(b)];
+            return true;
+        }
+        out = items_[static_cast<std::size_t>(b)];
+        return true;
+    }
+
+    /**
+     * Thief-side steal of the oldest remaining item. Returns false
+     * when the deque is empty or the steal lost a race (the caller's
+     * victim loop simply moves on; a lost race means someone else
+     * made progress).
+     */
+    bool stealTop(SweepWorkItem &out)
+    {
+        long t = top_.load(std::memory_order_seq_cst);
+        const long b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b)
+            return false;
+        const SweepWorkItem item = items_[static_cast<std::size_t>(t)];
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst))
+            return false;
+        out = item;
+        return true;
+    }
+
+  private:
+    std::vector<SweepWorkItem> items_;
+    std::atomic<long> top_{0};
+    std::atomic<long> bottom_{0};
+};
+
+} // namespace moentwine
+
+#endif // MOENTWINE_SWEEP_WORK_DEQUE_HH

@@ -1,0 +1,29 @@
+#include "sweep/worker_context.hh"
+
+namespace moentwine {
+
+InferenceEngine &
+WorkerContext::engine(const Mapping &mapping, const EngineConfig &cfg)
+{
+    for (PoolEntry &entry : pool_) {
+        if (entry.mapping != &mapping)
+            continue;
+        if (reuse_) {
+            ++engineReuses_;
+            entry.engine->reset(cfg);
+        } else {
+            // Rebuild baseline: same lifetime shape (the entry owns
+            // the engine), none of the scratch reuse.
+            ++engineBuilds_;
+            entry.engine =
+                std::make_unique<InferenceEngine>(mapping, cfg);
+        }
+        return *entry.engine;
+    }
+    ++engineBuilds_;
+    pool_.push_back(PoolEntry{
+        &mapping, std::make_unique<InferenceEngine>(mapping, cfg)});
+    return *pool_.back().engine;
+}
+
+} // namespace moentwine

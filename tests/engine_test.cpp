@@ -241,3 +241,62 @@ TEST(Engine, RetainAgTogglesDispatchCost)
     EXPECT_GT(a.allReduce, b.allReduce);
     EXPECT_LT(a.allToAll(), b.allToAll());
 }
+
+TEST(Engine, ResetIsBitwiseIdenticalToFreshConstruction)
+{
+    // The contract the sweep runner's per-worker engine reuse stands
+    // on: after reset(cfg), a used engine's timeline is bitwise equal
+    // to a newly constructed engine's — across config changes
+    // (balancer, workload mode, seed) and including the migration and
+    // load-ratio paths that carry cross-iteration state.
+    const System sys = smallWsc();
+
+    EngineConfig first = baseConfig();
+    first.balancer = BalancerKind::TopologyAware;
+    first.workload.mode = GatingMode::MixedScenario;
+    first.workload.seed = 7;
+    first.alpha = 0.5;
+    first.beta = 5;
+
+    EngineConfig second = baseConfig();
+    second.balancer = BalancerKind::NonInvasive;
+    second.workload.mode = GatingMode::MixedScenario;
+    second.workload.seed = 1234;
+    second.alpha = 0.5;
+    second.beta = 5;
+
+    // Dirty an engine with a full run of the first config...
+    InferenceEngine reused(sys.mapping(), first);
+    reused.run(15);
+    // ...then reset it to the second and compare against fresh.
+    reused.reset(second);
+    InferenceEngine fresh(sys.mapping(), second);
+    const auto a = reused.run(15);
+    const auto b = fresh.run(15);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].attnCompute, b[i].attnCompute) << "iter " << i;
+        EXPECT_EQ(a[i].allReduce, b[i].allReduce) << "iter " << i;
+        EXPECT_EQ(a[i].dispatch, b[i].dispatch) << "iter " << i;
+        EXPECT_EQ(a[i].combine, b[i].combine) << "iter " << i;
+        EXPECT_EQ(a[i].moeTime, b[i].moeTime) << "iter " << i;
+        EXPECT_EQ(a[i].migrationOverhead, b[i].migrationOverhead)
+            << "iter " << i;
+        EXPECT_EQ(a[i].migrationsCompleted, b[i].migrationsCompleted)
+            << "iter " << i;
+        EXPECT_EQ(a[i].loadMax, b[i].loadMax) << "iter " << i;
+        EXPECT_EQ(a[i].loadAvg, b[i].loadAvg) << "iter " << i;
+    }
+
+    // Resetting back to the first config also matches a fresh engine:
+    // no residue survives two generations of reuse.
+    reused.reset(first);
+    InferenceEngine freshFirst(sys.mapping(), first);
+    const auto c = reused.run(10);
+    const auto d = freshFirst.run(10);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        EXPECT_EQ(c[i].moeTime, d[i].moeTime) << "iter " << i;
+        EXPECT_EQ(c[i].migrationOverhead, d[i].migrationOverhead)
+            << "iter " << i;
+    }
+}

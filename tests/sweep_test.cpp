@@ -5,7 +5,11 @@
  *    counts, and the stability of per-cell seeds;
  *  - determinism: a real engine grid run with 4 workers produces rows
  *    bitwise-identical (labels and metric doubles) to a serial run, in
- *    identical order;
+ *    identical order — under work stealing, per-worker engine reuse,
+ *    forced NUMA replication, and affinity pinning alike;
+ *  - the work-stealing scheduler: a deliberately skewed grid (one
+ *    slow cell) keeps every worker busy and records steals, without
+ *    perturbing a single row;
  *  - shared-system thread safety: engines sharing one
  *    shared_ptr<const System> (and, separately, one lazily-built raw
  *    topology+mapping, exercising the once-guarded cold caches) across
@@ -53,6 +57,30 @@ runCell(const SweepCell &cell)
 {
     const EngineConfig ec = cellEngineConfig(cell.point);
     InferenceEngine engine(cell.system->mapping(), ec);
+    double layer = 0.0;
+    double a2a = 0.0;
+    double migration = 0.0;
+    for (const auto &s : engine.run(12)) {
+        layer += s.layerTime(ec.pipelineStages);
+        a2a += s.allToAll();
+        migration += s.migrationOverhead;
+    }
+    SweepResult row;
+    row.label = cell.system->name() + " #" +
+        std::to_string(cell.point.index);
+    row.add("layer_s", layer);
+    row.add("a2a_s", a2a);
+    row.add("migration_s", migration);
+    return row;
+}
+
+/** As runCell, but through the worker's persistent engine pool. */
+SweepResult
+runCellReused(const SweepCell &cell)
+{
+    const EngineConfig ec = cellEngineConfig(cell.point);
+    InferenceEngine &engine =
+        cell.worker->engine(cell.system->mapping(), ec);
     double layer = 0.0;
     double a2a = 0.0;
     double migration = 0.0;
@@ -200,6 +228,66 @@ TEST(SweepRunnerTest, JobsFromArgsParsesBothSpellings)
               0);
 }
 
+TEST(SweepRunnerTest, JobsFromArgsLastOccurrenceWins)
+{
+    // The normal CLI override convention: append `--jobs 1` to any
+    // command line to force a serial run.
+    const char *spaced[] = {"bench", "--jobs", "8", "--jobs", "1"};
+    EXPECT_EQ(SweepRunner::jobsFromArgs(5, const_cast<char **>(spaced)),
+              1);
+    const char *inlined[] = {"bench", "--jobs=8", "--jobs=3"};
+    EXPECT_EQ(SweepRunner::jobsFromArgs(3, const_cast<char **>(inlined)),
+              3);
+    const char *mixed[] = {"bench", "--jobs=2", "50", "--jobs", "6"};
+    EXPECT_EQ(SweepRunner::jobsFromArgs(5, const_cast<char **>(mixed)),
+              6);
+}
+
+TEST(SweepRunnerJobsDeathTest, EveryJobsOccurrenceIsValidated)
+{
+    // Last-wins must not become last-parsed: a malformed value dies
+    // loudly wherever it appears in the command line.
+    const char *badLast[] = {"bench", "--jobs", "8", "--jobs", "bogus"};
+    EXPECT_EXIT(
+        SweepRunner::jobsFromArgs(5, const_cast<char **>(badLast)),
+        ::testing::ExitedWithCode(1), "positive integer");
+    const char *badFirst[] = {"bench", "--jobs=0x4", "--jobs", "8"};
+    EXPECT_EXIT(
+        SweepRunner::jobsFromArgs(4, const_cast<char **>(badFirst)),
+        ::testing::ExitedWithCode(1), "positive integer");
+}
+
+TEST(SweepRunnerTest, AffinityFromArgsFlagBeatsEnv)
+{
+    const char *flag[] = {"bench", "--affinity"};
+    const char *plain[] = {"bench"};
+    ASSERT_EQ(unsetenv("MOENTWINE_AFFINITY"), 0);
+    EXPECT_TRUE(
+        SweepRunner::affinityFromArgs(2, const_cast<char **>(flag)));
+    EXPECT_FALSE(
+        SweepRunner::affinityFromArgs(1, const_cast<char **>(plain)));
+    ASSERT_EQ(setenv("MOENTWINE_AFFINITY", "1", 1), 0);
+    EXPECT_TRUE(
+        SweepRunner::affinityFromArgs(1, const_cast<char **>(plain)));
+    ASSERT_EQ(setenv("MOENTWINE_AFFINITY", "0", 1), 0);
+    EXPECT_FALSE(
+        SweepRunner::affinityFromArgs(1, const_cast<char **>(plain)));
+    // The flag wins over an env opt-out.
+    EXPECT_TRUE(
+        SweepRunner::affinityFromArgs(2, const_cast<char **>(flag)));
+    ASSERT_EQ(unsetenv("MOENTWINE_AFFINITY"), 0);
+}
+
+TEST(SweepRunnerJobsDeathTest, MalformedAffinityEnvIsFatal)
+{
+    const char *plain[] = {"bench"};
+    ASSERT_EQ(setenv("MOENTWINE_AFFINITY", "yes", 1), 0);
+    EXPECT_EXIT(
+        SweepRunner::affinityFromArgs(1, const_cast<char **>(plain)),
+        ::testing::ExitedWithCode(1), "'1' or '0'");
+    ASSERT_EQ(unsetenv("MOENTWINE_AFFINITY"), 0);
+}
+
 TEST(SweepRunnerTest, ResolvePositiveRequestWins)
 {
     EXPECT_EQ(SweepRunner::resolveJobs(5), 5);
@@ -218,6 +306,144 @@ TEST(SweepRunnerTest, ParallelRowsIdenticalToSerial)
     // Rows arrive in grid order regardless of completion order.
     for (std::size_t i = 0; i < serialRows.size(); ++i)
         EXPECT_EQ(parallelRows[i].index, i);
+}
+
+TEST(SweepRunnerTest, StealingUnderSkewKeepsAllWorkersBusy)
+{
+    // One cell takes ~250 ms while the other 31 take ~1 ms: the slow
+    // cell's owner parks on it, and the stealing workers must drain
+    // the rest of its block. Rows stay bitwise-identical to serial —
+    // scheduling freedom never reaches the output.
+    SweepGrid grid;
+    grid.params.resize(32);
+    for (std::size_t i = 0; i < grid.params.size(); ++i)
+        grid.params[i] = static_cast<double>(i);
+
+    const auto cell = [](const SweepCell &c) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            c.point.parameter() == 0.0 ? 250 : 1));
+        SweepResult row;
+        row.label = "p" + std::to_string(c.point.param);
+        row.add("twice", c.point.parameter() * 2.0);
+        return row;
+    };
+
+    const SweepRunner serial(1);
+    const auto serialRows = serial.run(grid, cell);
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    SweepRunStats stats;
+    const auto rows = SweepRunner(opts).run(grid, cell, &stats);
+
+    expectRowsIdentical(serialRows, rows);
+    EXPECT_TRUE(stats.stealing);
+    EXPECT_EQ(stats.workers, 4);
+    EXPECT_EQ(stats.cells, 32);
+    // The slow cell pins worker 0 for ~250 ms while its remaining 7
+    // block cells sit in its deque; the other workers finish their
+    // ~8 ms blocks and must steal them.
+    EXPECT_GE(stats.steals, 1);
+    ASSERT_EQ(stats.workerItems.size(), 4u);
+    for (int w = 0; w < 4; ++w)
+        EXPECT_GE(stats.workerItems[static_cast<std::size_t>(w)], 1)
+            << "worker " << w << " executed nothing";
+}
+
+TEST(SweepRunnerTest, EngineReuseBitwiseAgainstRebuild)
+{
+    // The determinism lynchpin of per-worker engine reuse: the same
+    // grid through the worker's engine pool (reset-and-reuse), through
+    // per-cell rebuilds, and serially must produce bitwise-identical
+    // rows — a reset engine is indistinguishable from a fresh one.
+    const SweepGrid grid = engineGrid();
+
+    const SweepRunner serial(1);
+    const auto serialRows = serial.run(grid, runCellReused);
+
+    SweepOptions reuse;
+    reuse.jobs = 4;
+    reuse.reuseWorkerState = true;
+    SweepRunStats reuseStats;
+    const auto reusedRows =
+        SweepRunner(reuse).run(grid, runCellReused, &reuseStats);
+
+    SweepOptions rebuild;
+    rebuild.jobs = 4;
+    rebuild.reuseWorkerState = false;
+    SweepRunStats rebuildStats;
+    const auto rebuiltRows =
+        SweepRunner(rebuild).run(grid, runCellReused, &rebuildStats);
+
+    expectRowsIdentical(serialRows, reusedRows);
+    expectRowsIdentical(serialRows, rebuiltRows);
+    // And against the per-cell-constructed baseline cell function.
+    expectRowsIdentical(serialRows, serial.run(grid, runCell));
+
+    // The reuse run actually reused: every cell beyond each worker's
+    // first sighting of a platform resets instead of constructing.
+    EXPECT_GT(reuseStats.engineReuses, 0);
+    EXPECT_EQ(reuseStats.engineReuses + reuseStats.engineBuilds,
+              static_cast<std::int64_t>(grid.cells()));
+    // The rebuild baseline never reuses.
+    EXPECT_EQ(rebuildStats.engineReuses, 0);
+    EXPECT_EQ(rebuildStats.engineBuilds,
+              static_cast<std::int64_t>(grid.cells()));
+}
+
+TEST(SweepRunnerTest, PrebuildItemsCoverEverySystemSlot)
+{
+    // engineGrid sweeps 2 systems × (no TP axis) = 2 slots; the
+    // stealing scheduler must schedule exactly one prebuild per slot,
+    // and cells count separately from prebuilds.
+    const SweepGrid grid = engineGrid();
+    SweepOptions opts;
+    opts.jobs = 4;
+    SweepRunStats stats;
+    SweepRunner(opts).run(grid, runCellReused, &stats);
+    EXPECT_EQ(stats.prebuilds, 2);
+    EXPECT_EQ(stats.cells, static_cast<std::int64_t>(grid.cells()));
+}
+
+TEST(SweepRunnerTest, ForcedNumaReplicationIsBitwise)
+{
+    // numaNodesOverride=2 on a (possibly) single-socket box: workers
+    // alternate between two independently built System replicas.
+    // Replica builds are deterministic, so rows cannot depend on
+    // which replica a cell read.
+    const SweepGrid grid = engineGrid();
+    const SweepRunner serial(1);
+    const auto serialRows = serial.run(grid, runCellReused);
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.numaNodesOverride = 2;
+    SweepRunStats stats;
+    const auto rows = SweepRunner(opts).run(grid, runCellReused, &stats);
+
+    expectRowsIdentical(serialRows, rows);
+    EXPECT_EQ(stats.numaNodes, 2);
+}
+
+TEST(SweepRunnerTest, AffinityOversubscriptionDegradesGracefully)
+{
+    // More workers than allowed CPUs (this box may have very few):
+    // pinning wraps round-robin over the allowed set — or fails into
+    // unpinned execution — and either way the sweep completes with
+    // rows bitwise-identical to serial.
+    const SweepGrid grid = engineGrid();
+    const SweepRunner serial(1);
+    const auto serialRows = serial.run(grid, runCellReused);
+
+    SweepOptions opts;
+    opts.jobs = 2 * SweepRunner::resolveJobs(0);
+    opts.affinity = true;
+    SweepRunStats stats;
+    const auto rows = SweepRunner(opts).run(grid, runCellReused, &stats);
+
+    expectRowsIdentical(serialRows, rows);
+    EXPECT_TRUE(stats.affinity);
+    EXPECT_LE(stats.pinned, stats.workers);
 }
 
 TEST(SweepRunnerTest, RepeatedParallelRunsAreIdentical)
